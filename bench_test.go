@@ -1,0 +1,231 @@
+package exflow
+
+// One benchmark per paper artifact. Each runs the corresponding experiment
+// end to end (profiling, placement solving, simulated inference) and reports
+// the headline metric of that figure alongside the usual ns/op. The bench
+// scale is reduced from the CLI default so the full suite finishes in
+// minutes; `cmd/exflow-bench -experiment <id>` runs the full-size version.
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/moe"
+)
+
+// benchOpts is the shared scale for the per-figure experiment benches.
+var benchOpts = ExperimentOptions{Scale: 0.25, Seed: 1}
+
+// runExperimentBench executes an experiment b.N times and stores a metric.
+func runExperimentBench(b *testing.B, id string, metric func(*Result) (string, float64)) {
+	b.Helper()
+	var last *Result
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(id, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if metric != nil && last != nil {
+		name, v := metric(last)
+		b.ReportMetric(v, name)
+	}
+}
+
+// seriesEnd returns the last y value of the named series in table ti.
+func seriesEnd(res *Result, ti int, name string) float64 {
+	for _, s := range res.Tables[ti].SeriesL {
+		if s.Name == name && len(s.Y) > 0 {
+			return s.Y[len(s.Y)-1]
+		}
+	}
+	return 0
+}
+
+func BenchmarkTable1CommVolume(b *testing.B) {
+	runExperimentBench(b, "table1", func(r *Result) (string, float64) {
+		// Measured ExFlow volume (row 2) vs Deepspeed (row 1), smaller is
+		// better.
+		tb := r.Tables[0]
+		var ds, exf float64
+		for _, s := range tb.SeriesL {
+			if s.Name == "measured-bytes" {
+				ds, exf = s.Y[0], s.Y[1]
+			}
+		}
+		if ds == 0 {
+			return "volratio", 0
+		}
+		return "volratio", exf / ds
+	})
+}
+
+func BenchmarkFig2AffinityHeatmaps(b *testing.B) {
+	runExperimentBench(b, "fig2", func(r *Result) (string, float64) {
+		return "top3mass", r.Heat[0].DominantColumnFraction(3)
+	})
+}
+
+func BenchmarkFig6CommLatency(b *testing.B) {
+	runExperimentBench(b, "fig6", func(r *Result) (string, float64) {
+		return "coh-a2a-frac", seriesEnd(r, 0, "coherent-alltoall")
+	})
+}
+
+func BenchmarkFig7TokenLocality(b *testing.B) {
+	runExperimentBench(b, "fig7", func(r *Result) (string, float64) {
+		return "exf-local-64gpu", seriesEnd(r, 0, "exflow-affinity")
+	})
+}
+
+func BenchmarkFig8NodeLocality(b *testing.B) {
+	runExperimentBench(b, "fig8", func(r *Result) (string, float64) {
+		return "exf-intranode-16n", seriesEnd(r, 0, "exflow-affinity")
+	})
+}
+
+func BenchmarkFig9OpBreakdown(b *testing.B) {
+	runExperimentBench(b, "fig9", func(r *Result) (string, float64) {
+		return "a2ashare-8node", seriesEnd(r, 0, "alltoall")
+	})
+}
+
+func BenchmarkFig10Throughput(b *testing.B) {
+	runExperimentBench(b, "fig10", func(r *Result) (string, float64) {
+		best := 0.0
+		for _, s := range r.Tables[0].SeriesL {
+			if s.Name != "exflow-affinity" {
+				continue
+			}
+			for _, v := range s.Y {
+				if v > best {
+					best = v
+				}
+			}
+		}
+		return "bestspeedup", best
+	})
+}
+
+func BenchmarkFig11LoadEvolution(b *testing.B) {
+	runExperimentBench(b, "fig11", func(r *Result) (string, float64) {
+		return "gini-final", seriesEnd(r, 0, "imbalance-gini")
+	})
+}
+
+func BenchmarkFig12AffinityEvolution(b *testing.B) {
+	runExperimentBench(b, "fig12", func(r *Result) (string, float64) {
+		return "late-affinity", seriesEnd(r, 1, "32-experts")
+	})
+}
+
+func BenchmarkFig13TokenSampling(b *testing.B) {
+	runExperimentBench(b, "fig13", func(r *Result) (string, float64) {
+		return "speedup-64E-5k", seriesEnd(r, 0, "64-experts")
+	})
+}
+
+func BenchmarkTable3OODConsistency(b *testing.B) {
+	runExperimentBench(b, "table3", func(r *Result) (string, float64) {
+		return "yelp-intragpu", seriesEnd(r, 0, "intra-gpu")
+	})
+}
+
+func BenchmarkFig14to16AffinityGrid(b *testing.B) {
+	runExperimentBench(b, "fig14_16", nil)
+}
+
+func BenchmarkAblationContextCoherence(b *testing.B) {
+	runExperimentBench(b, "ablation_coherence", func(r *Result) (string, float64) {
+		return "coh-speedup-32g", seriesEnd(r, 0, "coherent")
+	})
+}
+
+func BenchmarkAblationSolvers(b *testing.B) {
+	runExperimentBench(b, "ablation_solvers", nil)
+}
+
+func BenchmarkAblationStaged(b *testing.B) {
+	runExperimentBench(b, "ablation_staged", nil)
+}
+
+func BenchmarkAblationReplication(b *testing.B) {
+	runExperimentBench(b, "ablation_replication", nil)
+}
+
+func BenchmarkAblationTop2(b *testing.B) {
+	runExperimentBench(b, "ablation_top2", func(r *Result) (string, float64) {
+		return "top2-bytes-ratio", seriesEnd(r, 0, "alltoall-bytes-ratio")
+	})
+}
+
+func BenchmarkAblationCapacity(b *testing.B) {
+	runExperimentBench(b, "ablation_capacity", func(r *Result) (string, float64) {
+		return "dropfrac-cf4", seriesEnd(r, 0, "dropped-frac")
+	})
+}
+
+func BenchmarkAblationLearnedGate(b *testing.B) {
+	runExperimentBench(b, "ablation_learnedgate", func(r *Result) (string, float64) {
+		return "gain-400steps", seriesEnd(r, 0, "placement-gain")
+	})
+}
+
+func BenchmarkAblationHierarchical(b *testing.B) {
+	runExperimentBench(b, "ablation_hierarchical", func(r *Result) (string, float64) {
+		return "hier-speedup-8n", seriesEnd(r, 0, "hier/flat")
+	})
+}
+
+func BenchmarkAblationMigration(b *testing.B) {
+	runExperimentBench(b, "ablation_migration", nil)
+}
+
+func BenchmarkServingLatency(b *testing.B) {
+	runExperimentBench(b, "serving_latency", func(r *Result) (string, float64) {
+		if len(r.Tables) == 0 {
+			return "p95-ratio", 0
+		}
+		base := seriesEnd(r, 0, "deepspeed-p95")
+		exf := seriesEnd(r, 0, "exflow-p95")
+		if exf == 0 {
+			return "p95-ratio", 0
+		}
+		return "p95-ratio", base / exf
+	})
+}
+
+// Micro-benchmarks of the pipeline's hot stages at production-like sizes.
+
+func BenchmarkProfile3000Tokens(b *testing.B) {
+	sys := NewSystem(SystemOptions{Model: moe.GPTM(32), GPUs: 8, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.Profile(3000)
+	}
+}
+
+func BenchmarkSolvePlacement32E(b *testing.B) {
+	sys := NewSystem(SystemOptions{Model: moe.GPTM(32), GPUs: 8, Seed: 1})
+	tr := sys.Profile(3000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sys.SolvePlacement(tr)
+	}
+}
+
+func BenchmarkInferenceIteration16GPU(b *testing.B) {
+	cfg := moe.GPTM(32)
+	cfg.Layers = 12
+	sys := NewSystem(SystemOptions{Model: cfg, GPUs: 16, Seed: 1})
+	pl := sys.SolvePlacement(sys.Profile(1000))
+	w := Workload{RequestsPerGPU: 8, PromptLen: 8, GenerateTokens: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := sys.Run(engine.ExFlow, pl, w)
+		if i == 0 {
+			b.ReportMetric(rep.Throughput, "sim-tok/s")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Command exflow-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	exflow-bench -experiment fig7          # one experiment
+//	exflow-bench -experiment all           # everything
+//	exflow-bench -experiment fig10 -scale 0.3 -csv -out results/
+//
+// Each experiment prints the series/tables behind the corresponding paper
+// artifact plus notes comparing the measured shape with the published one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		scale      = flag.Float64("scale", 1.0, "workload scale in (0,1]; smaller is faster")
+		seed       = flag.Uint64("seed", 1, "deterministic seed")
+		csv        = flag.Bool("csv", false, "also emit CSV")
+		outDir     = flag.String("out", "", "directory for CSV files (default: stdout only)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exflow.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = exflow.Experiments()
+	}
+	opts := exflow.ExperimentOptions{Scale: *scale, Seed: *seed}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := exflow.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csv {
+			if *outDir != "" {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, "exflow-bench:", err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*outDir, id+".csv")
+				if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "exflow-bench:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", path)
+			} else {
+				fmt.Println(strings.TrimSpace(res.CSV()))
+			}
+		}
+	}
+}

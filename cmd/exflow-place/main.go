@@ -1,0 +1,83 @@
+// Command exflow-place solves expert placements from a routing trace and
+// compares strategies on the paper's Formula-8 objective.
+//
+//	exflow-trace -experts 32 -layers 12 -tokens 4000 -o pile.trace
+//	exflow-place -trace pile.trace -gpus 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/affinity"
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "trace file produced by exflow-trace")
+		gpus      = flag.Int("gpus", 8, "expert-parallel group size")
+		seed      = flag.Uint64("seed", 1, "annealer seed")
+		planOut   = flag.String("plan", "", "write the staged (exflow) placement as a JSON plan to this file")
+		name      = flag.String("name", "custom", "model name recorded in the plan")
+	)
+	flag.Parse()
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "exflow-place: -trace is required")
+		os.Exit(1)
+	}
+	f, err := os.Open(*traceFile)
+	fatalIf(err)
+	defer f.Close()
+	tr, err := trace.Decode(f)
+	fatalIf(err)
+	if tr.Experts%*gpus != 0 {
+		fatalIf(fmt.Errorf("experts %d not divisible by gpus %d", tr.Experts, *gpus))
+	}
+
+	tp := topo.ForGPUs(*gpus)
+	counts := tr.AllTransitionCounts()
+	total := float64(tr.Tokens() * (tr.Layers - 1))
+	aff := affinity.Estimate(tr)
+
+	fmt.Printf("trace: %d tokens, %d layers, %d experts; topology: %s\n\n",
+		tr.Tokens(), tr.Layers, tr.Experts, tp)
+	fmt.Printf("%-22s %14s %14s %14s\n", "strategy", "cross-gpu", "cross-node", "intra-gpu%")
+	show := func(name string, pl *placement.Placement) {
+		if err := pl.Validate(); err != nil {
+			fatalIf(fmt.Errorf("%s produced invalid placement: %w", name, err))
+		}
+		loc := pl.Locality(tr, tp)
+		fmt.Printf("%-22s %14.0f %14.0f %13.1f%%\n", name,
+			pl.Crossings(counts), pl.NodeCrossings(counts, tp.GPUsPerNode), loc.FracSameGPU*100)
+	}
+	show("contiguous (baseline)", placement.Contiguous(tr.Layers, tr.Experts, *gpus))
+	show("random", placement.Random(tr.Layers, tr.Experts, *gpus, *seed))
+	show("greedy", placement.Greedy(aff, *gpus))
+	show("layersweep", placement.LayerSweep(counts, tr.Layers, tr.Experts, *gpus, placement.LayerSweepOptions{}))
+	show("sweep+anneal", placement.Solve(counts, tr.Layers, tr.Experts, *gpus, *seed))
+	show("staged (exflow)", placement.Staged(counts, tr.Layers, tr.Experts, tp, *seed))
+	fmt.Printf("\ntotal transitions: %.0f\n", total)
+
+	if *planOut != "" {
+		opt := &core.Optimizer{ModelName: *name, Topo: tp, Seed: *seed}
+		plan, err := opt.Solve(tr)
+		fatalIf(err)
+		out, err := os.Create(*planOut)
+		fatalIf(err)
+		defer out.Close()
+		fatalIf(plan.Encode(out))
+		fmt.Printf("wrote plan to %s (improvement %.2fx over contiguous)\n", *planOut, plan.ImprovementRatio())
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exflow-place:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command exflow-sim runs one end-to-end distributed MoE inference
+// simulation and prints the full timing breakdown and locality report.
+//
+//	exflow-sim -model gptm-32 -gpus 16 -mode exflow
+//	exflow-sim -model gptxl -gpus 8 -mode vanilla -requests 16 -iters 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/moe"
+	"repro/internal/placement"
+)
+
+// models maps CLI names to presets.
+var models = map[string]func() moe.Config{
+	"gptm-8":   func() moe.Config { return moe.GPTM(8) },
+	"gptm-16":  func() moe.Config { return moe.GPTM(16) },
+	"gptm-32":  func() moe.Config { return moe.GPTM(32) },
+	"gptm-64":  func() moe.Config { return moe.GPTM(64) },
+	"gptm-32l": moe.GPTM32L,
+	"gptm-40l": moe.GPTM40L,
+	"gptxl":    moe.GPTXL,
+}
+
+func main() {
+	var (
+		model    = flag.String("model", "gptm-32", "model preset: gptm-8/16/32/64, gptm-32l, gptm-40l, gptxl")
+		gpus     = flag.Int("gpus", 8, "expert-parallel group size")
+		mode     = flag.String("mode", "exflow", "vanilla | coherent | exflow")
+		requests = flag.Int("requests", 8, "requests per GPU")
+		prompt   = flag.Int("prompt", 16, "prompt length")
+		iters    = flag.Int("iters", 4, "decode iterations")
+		profile  = flag.Int("profile", 3000, "profiling tokens for the affinity placement")
+		strength = flag.Float64("strength", 0.85, "synthetic affinity strength")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		planFile = flag.String("plan", "", "load the expert placement from a JSON plan (exflow mode)")
+	)
+	flag.Parse()
+
+	mk, ok := models[*model]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "exflow-sim: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+	sys := exflow.NewSystem(exflow.SystemOptions{
+		Model: mk(), GPUs: *gpus, AffinityStrength: *strength, Seed: *seed,
+	})
+	w := exflow.Workload{RequestsPerGPU: *requests, PromptLen: *prompt, GenerateTokens: *iters}
+
+	var rep *engine.Report
+	switch *mode {
+	case "vanilla":
+		rep = sys.Run(engine.Vanilla, sys.Baseline(), w)
+	case "coherent":
+		rep = sys.Run(engine.ContextCoherent, sys.Baseline(), w)
+	case "exflow":
+		var pl *placement.Placement
+		if *planFile != "" {
+			f, err := os.Open(*planFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "exflow-sim:", err)
+				os.Exit(1)
+			}
+			plan, err := core.DecodePlan(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "exflow-sim:", err)
+				os.Exit(1)
+			}
+			cfg := mk()
+			if err := plan.CheckCompatible(cfg.Layers, cfg.Experts, sys.Topo); err != nil {
+				fmt.Fprintln(os.Stderr, "exflow-sim:", err)
+				os.Exit(1)
+			}
+			pl = plan.Placement()
+		} else {
+			pl = sys.SolvePlacement(sys.Profile(*profile))
+		}
+		rep = sys.Run(engine.ExFlow, pl, w)
+	default:
+		fmt.Fprintf(os.Stderr, "exflow-sim: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	fmt.Printf("alltoall bytes: %d, allgather bytes: %d\n", rep.AlltoallBytes, rep.AllgatherBytes)
+	fmt.Printf("alltoall share of decode time: %.1f%%\n", rep.AlltoallShare()*100)
+}

@@ -1,0 +1,89 @@
+// Command exflow-trace generates and inspects expert-routing traces — the
+// offline profiling step of the ExFlow pipeline.
+//
+// Generate:
+//
+//	exflow-trace -experts 32 -layers 24 -tokens 5000 -o pile.trace
+//
+// Inspect:
+//
+//	exflow-trace -inspect pile.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/affinity"
+	"repro/internal/moe"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		experts  = flag.Int("experts", 32, "experts per layer")
+		layers   = flag.Int("layers", 24, "MoE layers")
+		tokens   = flag.Int("tokens", 5000, "tokens to profile")
+		strength = flag.Float64("strength", 0.85, "affinity strength of the synthetic model in [0,1]")
+		dataset  = flag.String("dataset", "pile", "dataset profile: pile, c4, dolma, yelp")
+		seed     = flag.Uint64("seed", 1, "deterministic seed")
+		out      = flag.String("o", "", "output trace file")
+		inspect  = flag.String("inspect", "", "trace file to inspect instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		fatalIf(err)
+		defer f.Close()
+		tr, err := trace.Decode(f)
+		fatalIf(err)
+		fmt.Printf("trace: %d tokens, %d layers, %d experts\n", tr.Tokens(), tr.Layers, tr.Experts)
+		aff := affinity.Estimate(tr)
+		fmt.Printf("mean top-1/top-3 affinity concentration: %.3f / %.3f\n",
+			aff.Concentration(1), aff.Concentration(3))
+		fmt.Print(affinity.PairHeatmap(tr, 0, 1).Render())
+		return
+	}
+
+	var ds *synth.DatasetProfile
+	for _, d := range synth.AllDatasets() {
+		if d.Name == *dataset {
+			ds = d
+		}
+	}
+	if ds == nil {
+		fatalIf(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+	// Derive the kernel seed exactly as exflow.NewSystem does, so traces
+	// generated here describe the same synthetic model that exflow-sim
+	// -seed N simulates, and plans solved from them transfer.
+	kernel := synth.NewKernel(synth.KernelParams{
+		Seed: rng.Mix64(*seed, 0x5F5), Layers: *layers, Experts: *experts, Strength: *strength,
+	})
+	router := synth.NewKernelRouter(kernel, ds, 1)
+	tr := trace.Collect(router, *layers, trace.SequentialIDs(*tokens, ds.TokenID))
+	fmt.Printf("profiled %d tokens through %s\n", tr.Tokens(),
+		moe.Config{Name: "synthetic", Layers: *layers, Experts: *experts}.Name)
+
+	if *out == "" {
+		fmt.Println("no -o given; printing layer-0 transition heatmap")
+		fmt.Print(affinity.PairHeatmap(tr, 0, 1).Render())
+		return
+	}
+	f, err := os.Create(*out)
+	fatalIf(err)
+	defer f.Close()
+	fatalIf(tr.Encode(f))
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exflow-trace:", err)
+		os.Exit(1)
+	}
+}

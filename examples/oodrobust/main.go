@@ -1,0 +1,44 @@
+// OOD robustness: expert affinity profiled on one corpus transfers to
+// out-of-distribution corpora (the paper's Table III).
+//
+// The placement is solved from Pile-analogue traces only, then evaluated on
+// C4/Dolma/Yelp analogues. Because affinity is a property of the *model*
+// (its experts' specializations), not of the profiling data, locality holds
+// within ~1% across datasets.
+//
+//	go run ./examples/oodrobust
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/moe"
+	"repro/internal/synth"
+)
+
+func main() {
+	sys := exflow.NewSystem(exflow.SystemOptions{
+		Model:   moe.GPTM(32),
+		GPUs:    8,
+		Dataset: synth.Pile(),
+		Seed:    11,
+	})
+
+	// Solve placement from Pile only.
+	pl := sys.SolvePlacement(sys.Profile(4000))
+
+	fmt.Printf("%-10s %12s %12s %14s %14s\n", "dataset", "intra-gpu", "intra-node", "norm(gpu)", "norm(node)")
+	var pileGPU, pileNode float64
+	for i, ds := range synth.AllDatasets() {
+		tr := sys.ProfileOn(ds, 5000, 1<<21)
+		loc := pl.Locality(tr, sys.Topo)
+		if i == 0 {
+			pileGPU, pileNode = loc.FracSameGPU, loc.FracIntraNode
+		}
+		fmt.Printf("%-10s %11.1f%% %11.1f%% %14.3f %14.3f\n", ds.Name,
+			loc.FracSameGPU*100, loc.FracIntraNode*100,
+			loc.FracSameGPU/pileGPU, loc.FracIntraNode/pileNode)
+	}
+	fmt.Println("\npaper Table III: all normalized entries within ~1% of 1.000")
+}

@@ -1,0 +1,204 @@
+// Package exflow is the public API of this repository: a from-scratch Go
+// implementation of ExFlow ("Exploiting Inter-Layer Expert Affinity for
+// Accelerating Mixture-of-Experts Model Inference", IPDPS 2024) together
+// with every substrate it needs — a simulated multi-GPU cluster with
+// hierarchical topology, MPI-style collectives, a GPT MoE model with real
+// forward math, routing-trace capture, affinity estimation, exact and
+// heuristic placement solvers, and a distributed inference engine.
+//
+// The typical pipeline mirrors the paper:
+//
+//	sys := exflow.NewSystem(exflow.SystemOptions{
+//		Model: moe.GPTM(32), GPUs: 16, AffinityStrength: 0.85, Seed: 1,
+//	})
+//	tr := sys.Profile(3000)                  // trace routing on sample tokens
+//	pl := sys.SolvePlacement(tr)             // staged affinity placement
+//	rep := sys.Run(engine.ExFlow, pl, exflow.Workload{})
+//	fmt.Println(rep)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure, each regenerable via
+// `go test -bench <Figure>` or `cmd/exflow-bench`.
+package exflow
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// SystemOptions configures NewSystem.
+type SystemOptions struct {
+	// Model is the GPT MoE variant (see moe.GPTM, moe.GPTXL, ...).
+	Model moe.Config
+	// GPUs is the expert-parallel group size; the topology is derived via
+	// topo.ForGPUs (4-GPU NVLink nodes, IB between nodes).
+	GPUs int
+	// AffinityStrength in [0,1] sets how concentrated the synthetic routing
+	// kernel's inter-layer transitions are; pre-trained GPT MoE models
+	// measured in the paper correspond to roughly 0.75-0.9. Zero selects
+	// the default 0.85.
+	AffinityStrength float64
+	// Dataset is the token-domain profile used for profiling and workload
+	// generation; nil means synth.Pile().
+	Dataset *synth.DatasetProfile
+	// TopK is the gating fan-out (0 means the model config's value).
+	TopK int
+	// Seed makes the whole system deterministic.
+	Seed uint64
+}
+
+// System bundles a model, its routing behaviour, and a topology — everything
+// needed to profile, place and run.
+type System struct {
+	Model   *moe.Model
+	Router  moe.Router
+	Kernel  *synth.Kernel
+	Topo    *topo.Topology
+	Dataset *synth.DatasetProfile
+	Seed    uint64
+}
+
+// NewSystem materializes a deterministic system.
+func NewSystem(opts SystemOptions) *System {
+	cfg := opts.Model
+	if opts.TopK > 0 {
+		cfg.TopK = opts.TopK
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	strength := opts.AffinityStrength
+	if strength == 0 {
+		strength = 0.85
+	}
+	ds := opts.Dataset
+	if ds == nil {
+		ds = synth.Pile()
+	}
+	kernel := synth.NewKernel(synth.KernelParams{
+		Seed:     rng.Mix64(opts.Seed, 0x5F5),
+		Layers:   cfg.Layers,
+		Experts:  cfg.Experts,
+		Strength: strength,
+	})
+	return &System{
+		Model:   moe.NewModel(cfg, rng.Mix64(opts.Seed, 0x30D)),
+		Router:  synth.NewKernelRouter(kernel, ds, cfg.TopK),
+		Kernel:  kernel,
+		Topo:    topo.ForGPUs(opts.GPUs),
+		Dataset: ds,
+		Seed:    opts.Seed,
+	}
+}
+
+// Profile traces `tokens` sample tokens from the system's dataset through
+// the router, recording the expert chosen at every layer — the offline
+// profiling step of Section V-A.
+func (s *System) Profile(tokens int) *trace.Trace {
+	ids := trace.SequentialIDs(tokens, s.Dataset.TokenID)
+	return trace.Collect(s.Router, s.Model.Cfg.Layers, ids)
+}
+
+// ProfileOn traces tokens drawn from an arbitrary dataset profile (used by
+// the out-of-distribution consistency experiments).
+func (s *System) ProfileOn(ds *synth.DatasetProfile, tokens, offset int) *trace.Trace {
+	router := synth.NewKernelRouter(s.Kernel, ds, s.Model.Cfg.TopK)
+	ids := make([]uint64, tokens)
+	for i := range ids {
+		ids[i] = ds.TokenID(uint64(offset + i))
+	}
+	return trace.Collect(router, s.Model.Cfg.Layers, ids)
+}
+
+// SolvePlacement runs the production two-stage (node, then GPU) affinity
+// placement pipeline on a profiling trace.
+func (s *System) SolvePlacement(tr *trace.Trace) *placement.Placement {
+	return placement.Staged(tr.AllTransitionCounts(), s.Model.Cfg.Layers, s.Model.Cfg.Experts, s.Topo, s.Seed)
+}
+
+// Baseline returns the Deepspeed-MoE contiguous placement.
+func (s *System) Baseline() *placement.Placement {
+	return placement.Contiguous(s.Model.Cfg.Layers, s.Model.Cfg.Experts, s.Topo.TotalGPUs())
+}
+
+// Workload describes an inference workload for Run.
+type Workload struct {
+	// RequestsPerGPU is the per-GPU batch (0 means 8).
+	RequestsPerGPU int
+	// PromptLen is the prefilled context length (0 means 16).
+	PromptLen int
+	// GenerateTokens is the decode iteration count (0 means 4).
+	GenerateTokens int
+	// EvalOffset shifts the token-id stream so evaluation tokens are
+	// disjoint from the profiling tokens (0 means 1<<20).
+	EvalOffset int
+	// CapacityFactor, when positive, enables GShard-style expert capacity
+	// with token dropping (see engine.Config.CapacityFactor).
+	CapacityFactor float64
+	// Hierarchical routes dispatch Alltoalls through node leaders.
+	Hierarchical bool
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.RequestsPerGPU == 0 {
+		w.RequestsPerGPU = 8
+	}
+	if w.PromptLen == 0 {
+		w.PromptLen = 16
+	}
+	if w.GenerateTokens == 0 {
+		w.GenerateTokens = 4
+	}
+	if w.EvalOffset == 0 {
+		w.EvalOffset = 1 << 20
+	}
+	return w
+}
+
+// Run executes distributed inference in the given mode under the given
+// placement and returns the measurement report.
+func (s *System) Run(mode engine.Mode, pl *placement.Placement, w Workload) *engine.Report {
+	w = w.withDefaults()
+	ds := s.Dataset
+	return engine.Run(engine.Config{
+		Model:           s.Model,
+		Router:          s.Router,
+		Topo:            s.Topo,
+		Placement:       pl,
+		Mode:            mode,
+		Cost:            moe.DefaultCostModel(),
+		RequestsPerGPU:  w.RequestsPerGPU,
+		PromptLen:       w.PromptLen,
+		GenerateTokens:  w.GenerateTokens,
+		CapacityFactor:  w.CapacityFactor,
+		HierarchicalA2A: w.Hierarchical,
+		TokenID: func(req, iter int) uint64 {
+			return ds.TokenID(uint64(w.EvalOffset + req*4096 + iter))
+		},
+		Seed: s.Seed,
+	})
+}
+
+// Speedup is a convenience running baseline and ExFlow back to back and
+// returning (baseline report, exflow report, throughput ratio).
+func (s *System) Speedup(profileTokens int, w Workload) (*engine.Report, *engine.Report, float64) {
+	base := s.Run(engine.Vanilla, s.Baseline(), w)
+	pl := s.SolvePlacement(s.Profile(profileTokens))
+	exf := s.Run(engine.ExFlow, pl, w)
+	if base.Throughput == 0 {
+		return base, exf, 0
+	}
+	return base, exf, exf.Throughput / base.Throughput
+}
+
+// describe returns a one-line system summary used by the CLI tools.
+func (s *System) describe() string {
+	return fmt.Sprintf("%s on %s", s.Model.Cfg.String(), s.Topo.String())
+}

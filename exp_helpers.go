@@ -1,0 +1,15 @@
+package exflow
+
+import "repro/internal/stats"
+
+// newTableHelper creates a stats.Table and registers it on the result.
+func newTableHelper(res *Result, title, xName string) *stats.Table {
+	t := stats.NewTable(title, xName)
+	res.Tables = append(res.Tables, t)
+	return t
+}
+
+// newGridHeatmap wraps a raw grid in a heatmap.
+func newGridHeatmap(title string, grid [][]float64) *stats.Heatmap {
+	return stats.NewHeatmap(title, grid)
+}

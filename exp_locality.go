@@ -1,0 +1,112 @@
+package exflow
+
+import (
+	"repro/internal/engine"
+	"repro/internal/moe"
+	"repro/internal/synth"
+)
+
+func init() {
+	register("fig7", runFig7)
+	register("fig8", runFig8)
+	register("table3", runTable3)
+}
+
+// runFig7 reproduces Fig 7: on GPT 350M MoE-64, the percentage of tokens
+// routed to experts on their current GPU (bars: Deepspeed vs ExFlow with
+// affinity) and the resulting reduction in cross-GPU communication (line),
+// as the expert-parallel group grows from 1 to 64 GPUs.
+func runFig7(opts ExperimentOptions) *Result {
+	res := &Result{ID: "fig7", Title: "Tokens staying on the same GPU and reduced cross-GPU communication (MoE-64)"}
+	cfg := moe.GPTM(64)
+	cfg.Layers = opts.scaled(24, 6)
+	tb := newTableHelper(res, "fraction of dispatches staying on the current GPU", "gpus")
+	sBase := tb.NewSeries("deepspeed")
+	sExf := tb.NewSeries("exflow-affinity")
+	sSaved := tb.NewSeries("comm-reduction")
+	w := Workload{RequestsPerGPU: opts.scaled(8, 2), GenerateTokens: opts.scaled(3, 2)}
+	for _, gpus := range []int{1, 4, 8, 16, 32, 64} {
+		sys := NewSystem(SystemOptions{Model: cfg, GPUs: gpus, Seed: opts.Seed})
+		base := sys.Run(engine.Vanilla, sys.Baseline(), w)
+		pl := sys.SolvePlacement(sys.Profile(opts.scaled(3000, 400)))
+		exf := sys.Run(engine.ExFlow, pl, w)
+		x := float64(gpus)
+		sBase.Add(x, base.FracDispatchLocal())
+		sExf.Add(x, exf.FracDispatchLocal())
+		saved := 0.0
+		if base.AlltoallBytes > 0 {
+			saved = 1 - float64(exf.AlltoallBytes)/float64(base.AlltoallBytes)
+		}
+		sSaved.Add(x, saved)
+		res.AddNote("%d GPUs: local dispatches %.1f%% (baseline %.1f%%), alltoall bytes reduced %.1f%%",
+			gpus, exf.FracDispatchLocal()*100, base.FracDispatchLocal()*100, saved*100)
+	}
+	res.AddNote("paper: >50%% local on 4 GPUs, ~40%% on 8, ~28%% on 32; baseline drops as 1/P; 40%% comm saved on 4 GPUs, 25%% on 32")
+	return res
+}
+
+// runFig8 reproduces Fig 8: the same view at node granularity — the share
+// of tokens routed to experts within the current node, and the reduction in
+// inter-node communication, for 1 to 16 nodes (4 GPUs each).
+func runFig8(opts ExperimentOptions) *Result {
+	res := &Result{ID: "fig8", Title: "Tokens staying within the same node and reduced inter-node communication (MoE-64)"}
+	cfg := moe.GPTM(64)
+	cfg.Layers = opts.scaled(24, 6)
+	tb := newTableHelper(res, "fraction of dispatches staying intra-node", "nodes")
+	sBase := tb.NewSeries("deepspeed")
+	sExf := tb.NewSeries("exflow-affinity")
+	sSaved := tb.NewSeries("inter-node-reduction")
+	w := Workload{RequestsPerGPU: opts.scaled(8, 2), GenerateTokens: opts.scaled(3, 2)}
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		sys := NewSystem(SystemOptions{Model: cfg, GPUs: nodes * 4, Seed: opts.Seed})
+		base := sys.Run(engine.Vanilla, sys.Baseline(), w)
+		pl := sys.SolvePlacement(sys.Profile(opts.scaled(3000, 400)))
+		exf := sys.Run(engine.ExFlow, pl, w)
+		x := float64(nodes)
+		sBase.Add(x, base.FracDispatchIntraNode())
+		sExf.Add(x, exf.FracDispatchIntraNode())
+		saved := 0.0
+		if base.DispatchCrossNode > 0 {
+			saved = 1 - float64(exf.DispatchCrossNode)/float64(base.DispatchCrossNode)
+		}
+		sSaved.Add(x, saved)
+		res.AddNote("%d node(s): intra-node dispatches %.1f%% (baseline %.1f%%), inter-node dispatches reduced %.1f%%",
+			nodes, exf.FracDispatchIntraNode()*100, base.FracDispatchIntraNode()*100, saved*100)
+	}
+	res.AddNote("paper: tokens are on average ~2x more likely to stay within the node under the staged affinity design")
+	return res
+}
+
+// runTable3 reproduces Table III: expert affinity profiled on Pile holds on
+// out-of-distribution datasets. The placement is solved from Pile traces
+// only; intra-GPU and intra-node locality are then measured on evaluation
+// traces from each dataset and row-normalized to the Pile column.
+func runTable3(opts ExperimentOptions) *Result {
+	res := &Result{ID: "table3", Title: "Affinity consistency on out-of-distribution datasets (row-normalized to Pile)"}
+	cfg := moe.GPTM(32)
+	cfg.Layers = opts.scaled(24, 6)
+	sys := NewSystem(SystemOptions{Model: cfg, GPUs: 8, Seed: opts.Seed})
+	pl := sys.SolvePlacement(sys.Profile(opts.scaled(4000, 500)))
+
+	evalTokens := opts.scaled(5000, 600)
+	type row struct{ gpu, node float64 }
+	vals := map[string]row{}
+	datasets := synth.AllDatasets()
+	for _, ds := range datasets {
+		tr := sys.ProfileOn(ds, evalTokens, 1<<21)
+		loc := pl.Locality(tr, sys.Topo)
+		vals[ds.Name] = row{gpu: loc.FracSameGPU, node: loc.FracIntraNode}
+	}
+	tb := newTableHelper(res, "locality under Pile-derived placement, normalized to Pile", "dataset#")
+	sGPU := tb.NewSeries("intra-gpu")
+	sNode := tb.NewSeries("intra-node")
+	pile := vals["pile"]
+	for i, ds := range datasets {
+		v := vals[ds.Name]
+		sGPU.Add(float64(i), v.gpu/pile.gpu)
+		sNode.Add(float64(i), v.node/pile.node)
+		res.AddNote("dataset %d = %s: intra-gpu %.3f, intra-node %.3f (normalized)", i, ds.Name, v.gpu/pile.gpu, v.node/pile.node)
+	}
+	res.AddNote("paper: all entries within ~1%% of 1.000 — affinity is an intrinsic property of the pre-trained model, not the profiling dataset")
+	return res
+}

@@ -1,0 +1,110 @@
+package exflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// ExperimentOptions tune the experiment runners.
+type ExperimentOptions struct {
+	// Scale in (0, 1] shrinks token counts, iteration counts and sweep
+	// ranges proportionally for quick runs (unit tests use ~0.1; benches
+	// and the CLI default to 1.0).
+	Scale float64
+	// Seed makes every experiment deterministic.
+	Seed uint64
+}
+
+func (o ExperimentOptions) withDefaults() ExperimentOptions {
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaled returns max(min, round(n*Scale)).
+func (o ExperimentOptions) scaled(n, min int) int {
+	v := int(float64(n) * o.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Result is the structured output of one experiment: the series/tables a
+// figure plots plus free-form notes recording what to compare against the
+// paper.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Heat   []*stats.Heatmap
+	Notes  []string
+}
+
+// AddNote appends a formatted note.
+func (r *Result) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render returns the full textual report of the experiment.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "######## %s — %s ########\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, h := range r.Heat {
+		b.WriteString(h.Render())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV returns the experiment's tables and heatmaps in CSV form.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.CSV())
+		b.WriteByte('\n')
+	}
+	for _, h := range r.Heat {
+		b.WriteString(h.CSV())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// experimentFunc runs one experiment.
+type experimentFunc func(ExperimentOptions) *Result
+
+// registry maps experiment ids to runners. Populated in experiment files.
+var registry = map[string]experimentFunc{}
+
+func register(id string, fn experimentFunc) { registry[id] = fn }
+
+// Experiments returns the sorted list of registered experiment ids.
+func Experiments() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunExperiment executes the experiment with the given id.
+func RunExperiment(id string, opts ExperimentOptions) (*Result, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exflow: unknown experiment %q (known: %s)", id, strings.Join(Experiments(), ", "))
+	}
+	return fn(opts.withDefaults()), nil
+}

@@ -1,0 +1,251 @@
+package exflow
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOpts shrinks every experiment to smoke-test scale.
+var fastOpts = ExperimentOptions{Scale: 0.08, Seed: 42}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "table3", "fig14_16",
+		"ablation_coherence", "ablation_solvers", "ablation_staged", "ablation_replication",
+		"ablation_top2", "ablation_capacity", "ablation_hierarchical",
+		"ablation_learnedgate", "ablation_migration", "serving_latency",
+	}
+	have := map[string]bool{}
+	for _, id := range Experiments() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("nope", fastOpts); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	// Every registered experiment must run at reduced scale and produce
+	// renderable, non-empty output. Heavier shape assertions follow in the
+	// targeted tests below.
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunExperiment(id, fastOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Fatalf("result id %q", res.ID)
+			}
+			out := res.Render()
+			if len(out) < 40 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			if len(res.Tables) == 0 && len(res.Heat) == 0 {
+				t.Fatal("experiment produced no tables or heatmaps")
+			}
+			if csv := res.CSV(); !strings.Contains(csv, ",") {
+				t.Fatal("CSV output malformed")
+			}
+		})
+	}
+}
+
+func TestFig2ShowsConcentration(t *testing.T) {
+	res, err := RunExperiment("fig2", ExperimentOptions{Scale: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Heat) != 4 {
+		t.Fatalf("fig2 should emit 4 heatmaps, got %d", len(res.Heat))
+	}
+	for _, h := range res.Heat {
+		if f := h.DominantColumnFraction(3); f < 0.3 {
+			t.Fatalf("heatmap %q lacks affinity concentration: top-3 mass %v", h.Title, f)
+		}
+	}
+}
+
+func TestFig7LocalityShape(t *testing.T) {
+	res, err := RunExperiment("fig7", ExperimentOptions{Scale: 0.15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	var base, exf *seriesRef
+	for _, s := range tb.SeriesL {
+		switch s.Name {
+		case "deepspeed":
+			base = &seriesRef{x: s.X, y: s.Y}
+		case "exflow-affinity":
+			exf = &seriesRef{x: s.X, y: s.Y}
+		}
+	}
+	if base == nil || exf == nil {
+		t.Fatal("missing series")
+	}
+	for i := range base.x {
+		if base.x[i] == 1 {
+			continue // single GPU: both are 100% local
+		}
+		if exf.y[i] <= base.y[i] {
+			t.Fatalf("at %v GPUs exflow locality %v not above baseline %v", base.x[i], exf.y[i], base.y[i])
+		}
+	}
+}
+
+type seriesRef struct{ x, y []float64 }
+
+func TestFig9AlltoallShareMonotone(t *testing.T) {
+	res, err := RunExperiment("fig9", ExperimentOptions{Scale: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a2a *seriesRef
+	for _, s := range res.Tables[0].SeriesL {
+		if s.Name == "alltoall" {
+			a2a = &seriesRef{x: s.X, y: s.Y}
+		}
+	}
+	if a2a == nil {
+		t.Fatal("missing alltoall series")
+	}
+	for i := 1; i < len(a2a.y); i++ {
+		if a2a.y[i] <= a2a.y[i-1] {
+			t.Fatalf("alltoall share not increasing with nodes: %v", a2a.y)
+		}
+	}
+	if a2a.y[0] > 0.5 {
+		t.Fatalf("single-node alltoall share %v too high (paper ~15%%)", a2a.y[0])
+	}
+	if last := a2a.y[len(a2a.y)-1]; last < 0.5 {
+		t.Fatalf("8-node alltoall share %v too low (paper ~76%%)", last)
+	}
+}
+
+func TestFig10SpeedupsAboveOne(t *testing.T) {
+	res, err := RunExperiment("fig10", ExperimentOptions{Scale: 0.12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exf *seriesRef
+	for _, s := range res.Tables[0].SeriesL {
+		if s.Name == "exflow-affinity" {
+			exf = &seriesRef{x: s.X, y: s.Y}
+		}
+	}
+	if exf == nil {
+		t.Fatal("missing exflow series")
+	}
+	above := 0
+	for _, v := range exf.y {
+		if v > 1 {
+			above++
+		}
+	}
+	if above < len(exf.y)*2/3 {
+		t.Fatalf("exflow should beat the baseline on most configs; only %d/%d did", above, len(exf.y))
+	}
+}
+
+func TestTable3NearUnity(t *testing.T) {
+	res, err := RunExperiment("table3", ExperimentOptions{Scale: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Tables[0].SeriesL {
+		for i, v := range s.Y {
+			if v < 0.85 || v > 1.15 {
+				t.Fatalf("series %s point %d = %v; OOD locality should be near 1.0", s.Name, i, v)
+			}
+		}
+	}
+}
+
+func TestFig13SpeedupSaturates(t *testing.T) {
+	res, err := RunExperiment("fig13", ExperimentOptions{Scale: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Tables[0].SeriesL {
+		if len(s.Y) < 2 {
+			t.Fatal("series too short")
+		}
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if last < 1 {
+			t.Fatalf("series %s: full-budget speedup %v below 1", s.Name, last)
+		}
+		if last < first-0.05 {
+			t.Fatalf("series %s: speedup should not degrade with more tokens (%v -> %v)", s.Name, first, last)
+		}
+	}
+}
+
+func TestFig11ImbalanceFalls(t *testing.T) {
+	res, err := RunExperiment("fig11", ExperimentOptions{Scale: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range res.Tables {
+		for _, s := range tb.SeriesL {
+			if s.Name != "imbalance-gini" {
+				continue
+			}
+			if s.Y[0] <= s.Y[len(s.Y)-1] {
+				t.Fatalf("%s: imbalance should fall during training (%v -> %v)", tb.Title, s.Y[0], s.Y[len(s.Y)-1])
+			}
+		}
+	}
+}
+
+func TestFig12DipThenClimb(t *testing.T) {
+	res, err := RunExperiment("fig12", ExperimentOptions{Scale: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early phase (table 0): the minimum lies strictly inside the window.
+	for _, s := range res.Tables[0].SeriesL {
+		minIdx := 0
+		for i, v := range s.Y {
+			if v < s.Y[minIdx] {
+				minIdx = i
+			}
+		}
+		if minIdx == 0 {
+			t.Fatalf("series %s: affinity should start high and dip (min at start)", s.Name)
+		}
+	}
+	// Late phase (table 1): last >= first (steady climb).
+	for _, s := range res.Tables[1].SeriesL {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Fatalf("series %s: late-phase affinity should climb", s.Name)
+		}
+	}
+}
+
+func TestAblationSolversOrdering(t *testing.T) {
+	res, err := RunExperiment("ablation_solvers", ExperimentOptions{Scale: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := res.Tables[0].SeriesL[0].Y
+	// strategy order: contiguous, random, greedy, layersweep, sweep+anneal.
+	sweep, full := y[3], y[4]
+	if full > sweep+1e-9 {
+		t.Fatalf("anneal must not worsen the sweep result: %v vs %v", full, sweep)
+	}
+	if full >= y[0] || full >= y[1] {
+		t.Fatalf("solver should beat contiguous (%v) and random (%v), got %v", y[0], y[1], full)
+	}
+}

@@ -1,0 +1,111 @@
+// Package affinity estimates inter-layer expert affinity — the conditional
+// probability P(E_{p,j+1} | E_{i,j}) of a token visiting expert p at layer
+// j+1 given it visited expert i at layer j (paper Formula 1) — from routing
+// traces, and provides the derived queries the placement pipeline and the
+// paper's figures need.
+package affinity
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Model holds the estimated conditional probabilities for every consecutive
+// layer pair. Cond[j][i][p] = P(expert p at layer j+1 | expert i at layer j).
+type Model struct {
+	Layers  int
+	Experts int
+	// Cond has Layers-1 entries; rows are normalized (rows with no observed
+	// tokens are uniform).
+	Cond [][][]float64
+	// Marginal[j][i] is the fraction of profiled tokens routed to expert i
+	// at layer j.
+	Marginal [][]float64
+}
+
+// Estimate fits the affinity model to a trace by maximum likelihood
+// (normalized transition counts). Unobserved rows become uniform — for
+// placement purposes an expert that never fires carries no preference.
+func Estimate(tr *trace.Trace) *Model {
+	if tr.Tokens() == 0 {
+		panic("affinity: cannot estimate from an empty trace")
+	}
+	m := &Model{Layers: tr.Layers, Experts: tr.Experts}
+	m.Cond = make([][][]float64, tr.Layers-1)
+	for j := 0; j < tr.Layers-1; j++ {
+		m.Cond[j] = stats.NormalizeRows(tr.TransitionCounts(j))
+	}
+	m.Marginal = make([][]float64, tr.Layers)
+	for j := 0; j < tr.Layers; j++ {
+		m.Marginal[j] = stats.Normalize(tr.LayerLoad(j))
+	}
+	return m
+}
+
+// P returns P(expert to at layer j+1 | expert from at layer j).
+func (m *Model) P(j, from, to int) float64 {
+	if j < 0 || j >= m.Layers-1 {
+		panic(fmt.Sprintf("affinity: layer %d out of range", j))
+	}
+	return m.Cond[j][from][to]
+}
+
+// MostAffiliated returns the expert at layer j+1 with the highest
+// conditional probability given expert `from` at layer j — the paper's
+// Formula 2, the single-expert local optimum that Lina-style replication
+// schemes chase.
+func (m *Model) MostAffiliated(j, from int) int {
+	row := m.Cond[j][from]
+	best := 0
+	for p := 1; p < len(row); p++ {
+		if row[p] > row[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// GroupAffinity evaluates the paper's Formula 5: the combined probability
+// that a token served by any of the `srcs` experts at layer j is next routed
+// to one of the `dsts` experts at layer j+1, weighting each source row by
+// the source expert's marginal load (so heavily used experts matter more).
+func (m *Model) GroupAffinity(j int, srcs, dsts []int) float64 {
+	total := 0.0
+	weight := 0.0
+	for _, s := range srcs {
+		w := m.Marginal[j][s]
+		row := m.Cond[j][s]
+		for _, d := range dsts {
+			total += w * row[d]
+		}
+		weight += w
+	}
+	if weight == 0 {
+		return 0
+	}
+	return total / weight
+}
+
+// PairHeatmap renders the conditional-probability matrix between two
+// arbitrary layers i < j of a trace as a heatmap — the artifact behind the
+// paper's Fig 2 (consecutive layers) and Figs 14-16 (all later layers).
+func PairHeatmap(tr *trace.Trace, i, j int) *stats.Heatmap {
+	probs := stats.NormalizeRows(tr.PairCounts(i, j))
+	h := stats.NewHeatmap(fmt.Sprintf("expert affinity: layer %d -> layer %d", i, j), probs)
+	h.RowLabel = fmt.Sprintf("experts at layer %d", i)
+	h.ColLabel = fmt.Sprintf("experts at layer %d", j)
+	return h
+}
+
+// Concentration returns the mean top-k row mass of the consecutive-layer
+// conditional matrices — a scalar summary of "how few columns are red" that
+// the synthetic-kernel calibration and tests use.
+func (m *Model) Concentration(k int) float64 {
+	total := 0.0
+	for j := 0; j < m.Layers-1; j++ {
+		total += stats.NewHeatmap("", m.Cond[j]).DominantColumnFraction(k)
+	}
+	return total / float64(m.Layers-1)
+}

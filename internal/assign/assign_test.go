@@ -1,0 +1,207 @@
+package assign
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// bruteForce enumerates all assignments of items to groups under the
+// capacities and returns the minimal total cost.
+func bruteForce(cost [][]float64, caps []int) float64 {
+	items := len(cost)
+	groups := len(caps)
+	best := math.Inf(1)
+	used := make([]int, groups)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == items {
+			best = acc
+			return
+		}
+		for g := 0; g < groups; g++ {
+			if used[g] < caps[g] {
+				used[g]++
+				rec(i+1, acc+cost[i][g])
+				used[g]--
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func randomCost(r *rng.RNG, items, groups int) [][]float64 {
+	cost := make([][]float64, items)
+	for i := range cost {
+		cost[i] = make([]float64, groups)
+		for g := range cost[i] {
+			cost[i][g] = r.Float64() * 10
+		}
+	}
+	return cost
+}
+
+func TestBalancedMatchesBruteForce(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 40; trial++ {
+		items := 2 + r.Intn(7) // 2..8
+		groups := 1 + r.Intn(3)
+		caps := make([]int, groups)
+		remaining := items
+		for g := range caps {
+			caps[g] = remaining/groups + 1
+			remaining -= caps[g]
+		}
+		// Ensure capacity suffices.
+		caps[0] += items
+		cost := randomCost(r, items, groups)
+		got, total, err := Balanced(cost, caps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := bruteForce(cost, caps)
+		if math.Abs(total-want) > 1e-6 {
+			t.Fatalf("trial %d: mcmf %v vs brute force %v", trial, total, want)
+		}
+		// Assignment must respect capacities and reproduce the cost.
+		used := make([]int, groups)
+		check := 0.0
+		for i, g := range got {
+			used[g]++
+			check += cost[i][g]
+		}
+		for g := range used {
+			if used[g] > caps[g] {
+				t.Fatalf("trial %d: group %d over capacity", trial, g)
+			}
+		}
+		if math.Abs(check-total) > 1e-6 {
+			t.Fatalf("trial %d: assignment cost %v != reported %v", trial, check, total)
+		}
+	}
+}
+
+func TestBalancedExactCapacities(t *testing.T) {
+	// 6 items, 3 groups of exactly 2 — the placement sweep's shape.
+	r := rng.New(13)
+	cost := randomCost(r, 6, 3)
+	got, total, err := Balanced(cost, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make([]int, 3)
+	for _, g := range got {
+		used[g]++
+	}
+	for g, u := range used {
+		if u != 2 {
+			t.Fatalf("group %d has %d items", g, u)
+		}
+	}
+	if want := bruteForce(cost, []int{2, 2, 2}); math.Abs(total-want) > 1e-6 {
+		t.Fatalf("got %v want %v", total, want)
+	}
+}
+
+func TestBalancedKnownOptimum(t *testing.T) {
+	cost := [][]float64{
+		{0, 10},
+		{10, 0},
+	}
+	got, total, err := Balanced(cost, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 || total != 0 {
+		t.Fatalf("got %v total %v", got, total)
+	}
+}
+
+func TestBalancedForcedSuboptimalItem(t *testing.T) {
+	// Both items prefer group 0, but capacity 1 forces a split; the solver
+	// must put the item with the larger regret on its preferred group.
+	cost := [][]float64{
+		{0, 100}, // item 0: huge regret
+		{0, 1},   // item 1: tiny regret
+	}
+	got, total, err := Balanced(cost, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 || total != 1 {
+		t.Fatalf("got %v total %v", got, total)
+	}
+}
+
+func TestBalancedErrors(t *testing.T) {
+	if _, _, err := Balanced([][]float64{{1}}, nil); err == nil {
+		t.Fatal("expected error for no groups")
+	}
+	if _, _, err := Balanced([][]float64{{1}, {1}}, []int{1}); err == nil {
+		t.Fatal("expected error for insufficient capacity")
+	}
+	if _, _, err := Balanced([][]float64{{1, 2}, {1}}, []int{2, 2}); err == nil {
+		t.Fatal("expected error for ragged cost matrix")
+	}
+	if _, _, err := Balanced([][]float64{{1}}, []int{-1, 2}); err == nil {
+		t.Fatal("expected error for negative capacity")
+	}
+}
+
+func TestBalancedEmptyItems(t *testing.T) {
+	got, total, err := Balanced(nil, []int{1})
+	if err != nil || got != nil || total != 0 {
+		t.Fatal("empty input should trivially succeed")
+	}
+}
+
+func TestMaximizeBalanced(t *testing.T) {
+	benefit := [][]float64{
+		{5, 1},
+		{1, 5},
+	}
+	got, total, err := MaximizeBalanced(benefit, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 || math.Abs(total-10) > 1e-9 {
+		t.Fatalf("got %v total %v", got, total)
+	}
+}
+
+func TestNegativeCostsHandled(t *testing.T) {
+	// MaximizeBalanced internally negates, producing negative costs; make
+	// sure Bellman-Ford based search handles them directly too.
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+		{-1, -1},
+	}
+	got, total, err := Balanced(cost, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bruteForce(cost, []int{2, 2}); math.Abs(total-want) > 1e-9 {
+		t.Fatalf("got %v want %v (assignment %v)", total, want, got)
+	}
+}
+
+func BenchmarkBalanced64x16(b *testing.B) {
+	r := rng.New(1)
+	cost := randomCost(r, 64, 16)
+	caps := make([]int, 16)
+	for i := range caps {
+		caps[i] = 4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Balanced(cost, caps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package assign solves the balanced assignment (transportation)
+// subproblems the placement layer-sweep produces: distribute E experts into
+// P groups of fixed capacity, minimizing a per-(expert, group) cost. It is
+// an exact solver built on min-cost max-flow with successive shortest paths.
+package assign
+
+import (
+	"fmt"
+	"math"
+)
+
+// edge is one directed arc of the flow network (paired with its reverse).
+type edge struct {
+	to   int
+	cap  int
+	cost float64
+	rev  int // index of reverse edge in graph[to]
+}
+
+// graph is an adjacency-list flow network.
+type graph struct {
+	adj [][]edge
+}
+
+func newGraph(n int) *graph {
+	return &graph{adj: make([][]edge, n)}
+}
+
+func (g *graph) addEdge(from, to, capacity int, cost float64) {
+	g.adj[from] = append(g.adj[from], edge{to: to, cap: capacity, cost: cost, rev: len(g.adj[to])})
+	g.adj[to] = append(g.adj[to], edge{to: from, cap: 0, cost: -cost, rev: len(g.adj[from]) - 1})
+}
+
+// minCostFlow pushes up to maxFlow units from s to t using successive
+// shortest paths (Bellman-Ford, which tolerates the negative reverse arcs).
+// It returns the flow achieved and its total cost.
+func (g *graph) minCostFlow(s, t, maxFlow int) (int, float64) {
+	n := len(g.adj)
+	totalFlow := 0
+	totalCost := 0.0
+	for totalFlow < maxFlow {
+		dist := make([]float64, n)
+		inQueue := make([]bool, n)
+		prevV := make([]int, n)
+		prevE := make([]int, n)
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevV[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		inQueue[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			inQueue[v] = false
+			for ei, e := range g.adj[v] {
+				if e.cap > 0 && dist[v]+e.cost < dist[e.to]-1e-12 {
+					dist[e.to] = dist[v] + e.cost
+					prevV[e.to] = v
+					prevE[e.to] = ei
+					if !inQueue[e.to] {
+						queue = append(queue, e.to)
+						inQueue[e.to] = true
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[t], 1) {
+			break // no augmenting path
+		}
+		// Find bottleneck along the path.
+		push := maxFlow - totalFlow
+		for v := t; v != s; v = prevV[v] {
+			if c := g.adj[prevV[v]][prevE[v]].cap; c < push {
+				push = c
+			}
+		}
+		// Apply.
+		for v := t; v != s; v = prevV[v] {
+			e := &g.adj[prevV[v]][prevE[v]]
+			e.cap -= push
+			g.adj[e.to][e.rev].cap += push
+		}
+		totalFlow += push
+		totalCost += float64(push) * dist[t]
+	}
+	return totalFlow, totalCost
+}
+
+// Balanced assigns each of len(cost) items to one of len(caps) groups,
+// minimizing the total cost[item][group], subject to group g receiving at
+// most caps[g] items. It returns the assignment (group per item) and the
+// optimal total cost. It returns an error if the capacities cannot hold all
+// items.
+func Balanced(cost [][]float64, caps []int) ([]int, float64, error) {
+	items := len(cost)
+	groups := len(caps)
+	if items == 0 {
+		return nil, 0, nil
+	}
+	if groups == 0 {
+		return nil, 0, fmt.Errorf("assign: no groups")
+	}
+	totalCap := 0
+	for g, c := range caps {
+		if c < 0 {
+			return nil, 0, fmt.Errorf("assign: negative capacity for group %d", g)
+		}
+		totalCap += c
+	}
+	if totalCap < items {
+		return nil, 0, fmt.Errorf("assign: capacity %d < items %d", totalCap, items)
+	}
+	for i, row := range cost {
+		if len(row) != groups {
+			return nil, 0, fmt.Errorf("assign: cost row %d has %d entries, want %d", i, len(row), groups)
+		}
+	}
+
+	// Node layout: 0 = source, 1..items = items, items+1..items+groups =
+	// groups, last = sink.
+	n := items + groups + 2
+	src, sink := 0, n-1
+	g := newGraph(n)
+	for i := 0; i < items; i++ {
+		g.addEdge(src, 1+i, 1, 0)
+		for p := 0; p < groups; p++ {
+			g.addEdge(1+i, 1+items+p, 1, cost[i][p])
+		}
+	}
+	for p := 0; p < groups; p++ {
+		g.addEdge(1+items+p, sink, caps[p], 0)
+	}
+	flow, total := g.minCostFlow(src, sink, items)
+	if flow < items {
+		return nil, 0, fmt.Errorf("assign: only placed %d of %d items", flow, items)
+	}
+	// Read the assignment off the saturated item->group arcs.
+	out := make([]int, items)
+	for i := 0; i < items; i++ {
+		out[i] = -1
+		for _, e := range g.adj[1+i] {
+			if e.to >= 1+items && e.to < 1+items+groups && e.cap == 0 {
+				out[i] = e.to - 1 - items
+				break
+			}
+		}
+		if out[i] == -1 {
+			return nil, 0, fmt.Errorf("assign: item %d unassigned after flow", i)
+		}
+	}
+	return out, total, nil
+}
+
+// MaximizeBalanced is Balanced over a *benefit* matrix: it maximizes total
+// benefit[item][group] under the same capacity constraints.
+func MaximizeBalanced(benefit [][]float64, caps []int) ([]int, float64, error) {
+	cost := make([][]float64, len(benefit))
+	for i, row := range benefit {
+		cost[i] = make([]float64, len(row))
+		for p, b := range row {
+			cost[i][p] = -b
+		}
+	}
+	a, total, err := Balanced(cost, caps)
+	return a, -total, err
+}

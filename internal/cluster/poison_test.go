@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// These tests pin the failure-isolation behaviour: a panic on one rank must
+// tear the whole run down promptly even when peers are blocked in
+// point-to-point receives (not just in the barrier), and the reported panic
+// must be the root cause, not the poison-abort it triggered.
+
+func TestPanicUnblocksPeerStuckInRecv(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if !strings.Contains(p.(string), "root-cause-boom") {
+			t.Fatalf("expected root cause in panic, got: %v", p)
+		}
+	}()
+	c := New(topo.SingleNode(2))
+	c.Run(func(r *Rank) {
+		if r.ID == 0 {
+			panic("root-cause-boom")
+		}
+		// Rank 1 waits for a message that will never come; without mailbox
+		// poisoning this deadlocks Run forever.
+		r.Recv(0)
+	})
+}
+
+func TestPanicUnblocksManyPeers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := New(topo.Wilkes3(2))
+	c.Run(func(r *Rank) {
+		switch {
+		case r.ID == 3:
+			panic("boom")
+		case r.ID%2 == 0:
+			r.Recv((r.ID + 1) % c.Size())
+		default:
+			r.Barrier()
+		}
+	})
+}
+
+func TestHealthyRunUnaffectedByPoisonMachinery(t *testing.T) {
+	c := New(topo.SingleNode(4))
+	ranks := c.Run(func(r *Rank) {
+		next := (r.ID + 1) % 4
+		prev := (r.ID + 3) % 4
+		for i := 0; i < 20; i++ {
+			r.Send(next, i, 64, "ring")
+			if got := r.Recv(prev).(int); got != i {
+				t.Errorf("got %d want %d", got, i)
+				return
+			}
+		}
+		r.Barrier()
+	})
+	if len(ranks) != 4 {
+		t.Fatal("run did not complete")
+	}
+}

@@ -1,0 +1,148 @@
+// Package collective implements the MPI/NCCL-style collective operations MoE
+// expert parallelism is built from — Alltoall, Allgather, AllReduce,
+// Broadcast — over the simulated cluster runtime.
+//
+// Each collective both moves real data between rank goroutines and advances
+// the simulated clocks according to the algorithm's communication structure:
+//   - Alltoall: pairwise exchange, P-1 steps, rank r sends chunk to
+//     (r+step) mod P and receives from (r-step) mod P.
+//   - Allgather: ring, P-1 steps, each step forwarding the chunk received in
+//     the previous step.
+//   - AllReduce: ring reduce-scatter followed by ring allgather.
+//   - Broadcast: binomial tree from the root.
+//
+// These are the algorithms NCCL uses at the message sizes MoE inference
+// produces, so the simulated time has the right shape in both P and bytes.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Alltoall performs a personalized all-to-all exchange: send[d] is delivered
+// to rank d, and the returned recv[s] holds the chunk rank s addressed to
+// this rank. Chunks may have different lengths (MoE token dispatch is
+// irregular). elemBytes is the wire size of one T. The simulated time charged
+// reflects the pairwise-exchange schedule; chunks addressed to the local rank
+// are charged as a local copy.
+func Alltoall[T any](r *cluster.Rank, send [][]T, elemBytes int, category string) [][]T {
+	p := r.Cluster.Size()
+	if len(send) != p {
+		panic(fmt.Sprintf("collective: Alltoall needs %d chunks, got %d", p, len(send)))
+	}
+	recv := make([][]T, p)
+	// Local chunk: an on-GPU copy, not a network transfer.
+	recv[r.ID] = send[r.ID]
+	r.LocalCopy(len(send[r.ID])*elemBytes, category)
+	for step := 1; step < p; step++ {
+		dst := (r.ID + step) % p
+		src := (r.ID - step + p) % p
+		r.Send(dst, send[dst], len(send[dst])*elemBytes, category)
+		recv[src] = r.Recv(src).([]T)
+	}
+	return recv
+}
+
+// Allgather collects each rank's chunk onto every rank using a ring. The
+// result slice is indexed by source rank and is identical (element-wise) on
+// all ranks.
+func Allgather[T any](r *cluster.Rank, mine []T, elemBytes int, category string) [][]T {
+	p := r.Cluster.Size()
+	out := make([][]T, p)
+	out[r.ID] = mine
+	next := (r.ID + 1) % p
+	prev := (r.ID - 1 + p) % p
+	carry := mine
+	carryOwner := r.ID
+	for step := 1; step < p; step++ {
+		r.Send(next, ringPacket[T]{owner: carryOwner, data: carry}, len(carry)*elemBytes, category)
+		pkt := r.Recv(prev).(ringPacket[T])
+		out[pkt.owner] = pkt.data
+		carry = pkt.data
+		carryOwner = pkt.owner
+	}
+	return out
+}
+
+// ringPacket carries a chunk plus its originating rank around the ring.
+type ringPacket[T any] struct {
+	owner int
+	data  []T
+}
+
+// AllReduceSum sums float64 vectors of equal length across all ranks; every
+// rank returns the same totals. Implemented as ring reduce-scatter + ring
+// allgather over contiguous blocks, the bandwidth-optimal schedule.
+func AllReduceSum(r *cluster.Rank, mine []float64, category string) []float64 {
+	p := r.Cluster.Size()
+	n := len(mine)
+	acc := append([]float64(nil), mine...)
+	if p == 1 {
+		return acc
+	}
+	const elemBytes = 8
+	// Block boundaries: block b covers [bounds[b], bounds[b+1]).
+	bounds := make([]int, p+1)
+	for b := 0; b <= p; b++ {
+		bounds[b] = b * n / p
+	}
+	next := (r.ID + 1) % p
+	prev := (r.ID - 1 + p) % p
+	// Reduce-scatter: after p-1 steps, rank r holds the full sum of block r.
+	for step := 0; step < p-1; step++ {
+		sendBlock := (r.ID - step + p) % p
+		recvBlock := (r.ID - step - 1 + p) % p
+		chunk := append([]float64(nil), acc[bounds[sendBlock]:bounds[sendBlock+1]]...)
+		r.Send(next, chunk, len(chunk)*elemBytes, category)
+		in := r.Recv(prev).([]float64)
+		dst := acc[bounds[recvBlock]:bounds[recvBlock+1]]
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	// Allgather the reduced blocks.
+	for step := 0; step < p-1; step++ {
+		sendBlock := (r.ID + 1 - step + p) % p
+		recvBlock := (r.ID - step + p) % p
+		chunk := append([]float64(nil), acc[bounds[sendBlock]:bounds[sendBlock+1]]...)
+		r.Send(next, chunk, len(chunk)*elemBytes, category)
+		in := r.Recv(prev).([]float64)
+		copy(acc[bounds[recvBlock]:bounds[recvBlock+1]], in)
+	}
+	return acc
+}
+
+// Broadcast distributes root's value to every rank via a binomial tree and
+// returns it. Non-root ranks pass any placeholder (ignored).
+func Broadcast[T any](r *cluster.Rank, root int, value T, bytes int, category string) T {
+	p := r.Cluster.Size()
+	if root < 0 || root >= p {
+		panic("collective: invalid broadcast root")
+	}
+	// Work in a rotated space where the root is rank 0. At step `mask`,
+	// ranks [0, mask) already hold the value and each sends to vrank+mask;
+	// ranks [mask, 2*mask) receive.
+	vrank := (r.ID - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vrank < mask {
+			peer := vrank + mask
+			if peer < p {
+				r.Send((peer+root)%p, value, bytes, category)
+			}
+		} else if vrank < 2*mask {
+			value = r.Recv(((vrank - mask) + root) % p).(T)
+		}
+	}
+	return value
+}
+
+// TotalBytes is a helper computing the wire volume of a chunked payload.
+func TotalBytes[T any](chunks [][]T, elemBytes int) int {
+	total := 0
+	for _, c := range chunks {
+		total += len(c) * elemBytes
+	}
+	return total
+}

@@ -1,0 +1,153 @@
+package collective
+
+import (
+	"repro/internal/cluster"
+)
+
+// HierarchicalAlltoall performs a personalized all-to-all in two stages that
+// exploit the topology's bandwidth hierarchy, the way NCCL's PXN / rail-
+// optimized schedules do:
+//
+//  1. Intra-node gather: every rank forwards its inter-node chunks to the
+//     node's leader (local rank 0) over NVLink, bundled per destination
+//     node.
+//  2. Inter-node exchange: node leaders exchange the bundled chunks over
+//     the slow fabric (one large message per node pair instead of
+//     GPUsPerNode^2 small ones), then scatter arrivals to their local
+//     ranks.
+//
+// Intra-node chunks are delivered directly. The result is semantically
+// identical to Alltoall; the win is fewer inter-node messages, which
+// matters when the per-message latency term dominates (small-chunk MoE
+// dispatch at scale).
+type hierPacket[T any] struct {
+	srcRank int
+	dstRank int
+	data    []T
+}
+
+// HierarchicalAlltoall has the same contract as Alltoall.
+func HierarchicalAlltoall[T any](r *cluster.Rank, send [][]T, elemBytes int, category string) [][]T {
+	tp := r.Cluster.Topo
+	p := r.Cluster.Size()
+	if len(send) != p {
+		panic("collective: HierarchicalAlltoall chunk count mismatch")
+	}
+	if tp.Nodes == 1 {
+		return Alltoall(r, send, elemBytes, category)
+	}
+	recv := make([][]T, p)
+	myNode := tp.NodeOf(r.ID)
+	leader := tp.Rank(myNode, 0)
+	isLeader := r.ID == leader
+
+	// Stage 0: direct intra-node (and self) deliveries via the flat
+	// pairwise schedule restricted to the node.
+	recv[r.ID] = send[r.ID]
+	r.LocalCopy(len(send[r.ID])*elemBytes, category)
+	local := tp.RanksOnNode(myNode)
+	for step := 1; step < len(local); step++ {
+		me := indexOf(local, r.ID)
+		dst := local[(me+step)%len(local)]
+		src := local[(me-step+len(local))%len(local)]
+		r.Send(dst, send[dst], len(send[dst])*elemBytes, category)
+		recv[src] = r.Recv(src).([]T)
+	}
+
+	// Stage 1: forward inter-node chunks to the node leader, bundled per
+	// destination node.
+	type bundle = []hierPacket[T]
+	outByNode := make([]bundle, tp.Nodes)
+	bytesByNode := make([]int, tp.Nodes)
+	for dst := 0; dst < p; dst++ {
+		dn := tp.NodeOf(dst)
+		if dn == myNode {
+			continue
+		}
+		outByNode[dn] = append(outByNode[dn], hierPacket[T]{srcRank: r.ID, dstRank: dst, data: send[dst]})
+		bytesByNode[dn] += len(send[dst]) * elemBytes
+	}
+	if !isLeader {
+		total := 0
+		var all bundle
+		for dn := 0; dn < tp.Nodes; dn++ {
+			all = append(all, outByNode[dn]...)
+			total += bytesByNode[dn]
+		}
+		r.Send(leader, all, total, category)
+	}
+	var staged []bundle // leader: per destination node
+	if isLeader {
+		staged = make([]bundle, tp.Nodes)
+		for dn := 0; dn < tp.Nodes; dn++ {
+			staged[dn] = append(staged[dn], outByNode[dn]...)
+		}
+		for _, peer := range local {
+			if peer == leader {
+				continue
+			}
+			in := r.Recv(peer).(bundle)
+			for _, pkt := range in {
+				staged[tp.NodeOf(pkt.dstRank)] = append(staged[tp.NodeOf(pkt.dstRank)], pkt)
+			}
+		}
+	}
+
+	// Stage 2: leaders exchange node bundles pairwise, then scatter to
+	// local ranks; non-leaders receive their forwarded chunks.
+	if isLeader {
+		arrivals := make([]bundle, 0, tp.Nodes)
+		for step := 1; step < tp.Nodes; step++ {
+			dstNode := (myNode + step) % tp.Nodes
+			srcNode := (myNode - step + tp.Nodes) % tp.Nodes
+			out := staged[dstNode]
+			bytes := 0
+			for _, pkt := range out {
+				bytes += len(pkt.data) * elemBytes
+			}
+			r.Send(tp.Rank(dstNode, 0), out, bytes, category)
+			arrivals = append(arrivals, r.Recv(tp.Rank(srcNode, 0)).(bundle))
+		}
+		// Scatter arrivals: keep own, forward the rest over NVLink.
+		perLocal := make(map[int]bundle)
+		for _, in := range arrivals {
+			for _, pkt := range in {
+				if pkt.dstRank == r.ID {
+					recv[pkt.srcRank] = pkt.data
+				} else {
+					perLocal[pkt.dstRank] = append(perLocal[pkt.dstRank], pkt)
+				}
+			}
+		}
+		for _, peer := range local {
+			if peer == leader {
+				continue
+			}
+			out := perLocal[peer]
+			bytes := 0
+			for _, pkt := range out {
+				bytes += len(pkt.data) * elemBytes
+			}
+			r.Send(peer, out, bytes, category)
+		}
+	} else {
+		in := r.Recv(leader).(bundle)
+		for _, pkt := range in {
+			recv[pkt.srcRank] = pkt.data
+		}
+	}
+	// Chunks from ranks that sent nothing to us stay nil, matching the
+	// flat Alltoall's behaviour for empty sends only when senders used nil
+	// chunks; normalize to empty slices where the flat version would have
+	// delivered a non-nil empty chunk is unnecessary for callers.
+	return recv
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	panic("collective: rank not on its own node")
+}

@@ -1,0 +1,88 @@
+package collective
+
+import (
+	"repro/internal/cluster"
+)
+
+// Gather collects each rank's chunk onto the root using direct sends (the
+// flat algorithm NCCL uses for gather). Non-root ranks return nil; the root
+// returns chunks indexed by source rank.
+func Gather[T any](r *cluster.Rank, root int, mine []T, elemBytes int, category string) [][]T {
+	p := r.Cluster.Size()
+	if root < 0 || root >= p {
+		panic("collective: invalid gather root")
+	}
+	if r.ID == root {
+		out := make([][]T, p)
+		out[root] = mine
+		r.LocalCopy(len(mine)*elemBytes, category)
+		for src := 0; src < p; src++ {
+			if src == root {
+				continue
+			}
+			out[src] = r.Recv(src).([]T)
+		}
+		return out
+	}
+	r.Send(root, mine, len(mine)*elemBytes, category)
+	return nil
+}
+
+// Scatter distributes root's per-rank chunks: rank i receives chunks[i].
+// Non-root ranks pass nil chunks.
+func Scatter[T any](r *cluster.Rank, root int, chunks [][]T, elemBytes int, category string) []T {
+	p := r.Cluster.Size()
+	if root < 0 || root >= p {
+		panic("collective: invalid scatter root")
+	}
+	if r.ID == root {
+		if len(chunks) != p {
+			panic("collective: Scatter needs one chunk per rank")
+		}
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			r.Send(dst, chunks[dst], len(chunks[dst])*elemBytes, category)
+		}
+		r.LocalCopy(len(chunks[root])*elemBytes, category)
+		return chunks[root]
+	}
+	return r.Recv(root).([]T)
+}
+
+// ReduceScatterSum splits equal-length float64 vectors into P blocks,
+// reduces block b across all ranks, and leaves the reduced block b on rank
+// b — the first half of the ring AllReduce, exposed directly because MoE
+// gradient pipelines use it standalone. Returns this rank's reduced block
+// (and its start offset in the original vector).
+func ReduceScatterSum(r *cluster.Rank, mine []float64, category string) ([]float64, int) {
+	p := r.Cluster.Size()
+	n := len(mine)
+	bounds := make([]int, p+1)
+	for b := 0; b <= p; b++ {
+		bounds[b] = b * n / p
+	}
+	acc := append([]float64(nil), mine...)
+	if p == 1 {
+		return acc, 0
+	}
+	const elemBytes = 8
+	next := (r.ID + 1) % p
+	prev := (r.ID - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sendBlock := (r.ID - step + p) % p
+		recvBlock := (r.ID - step - 1 + p) % p
+		chunk := append([]float64(nil), acc[bounds[sendBlock]:bounds[sendBlock+1]]...)
+		r.Send(next, chunk, len(chunk)*elemBytes, category)
+		in := r.Recv(prev).([]float64)
+		dst := acc[bounds[recvBlock]:bounds[recvBlock+1]]
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	// After p-1 steps this rank holds the complete block (ID+1) mod p.
+	owned := (r.ID + 1) % p
+	out := append([]float64(nil), acc[bounds[owned]:bounds[owned+1]]...)
+	return out, bounds[owned]
+}

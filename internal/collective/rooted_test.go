@@ -1,0 +1,175 @@
+package collective
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/topo"
+)
+
+func TestGatherCollectsAllChunks(t *testing.T) {
+	tp := topo.Wilkes3(2)
+	p := tp.TotalGPUs()
+	for root := 0; root < p; root += 3 {
+		var mu sync.Mutex
+		var rootView [][]int
+		run(tp, func(r *cluster.Rank) {
+			mine := []int{r.ID, r.ID * 10}
+			out := Gather(r, root, mine, 8, "g")
+			if r.ID == root {
+				mu.Lock()
+				rootView = out
+				mu.Unlock()
+			} else if out != nil {
+				t.Errorf("non-root rank %d got non-nil gather result", r.ID)
+			}
+		})
+		if len(rootView) != p {
+			t.Fatalf("root=%d: got %d chunks", root, len(rootView))
+		}
+		for src, chunk := range rootView {
+			if len(chunk) != 2 || chunk[0] != src || chunk[1] != src*10 {
+				t.Fatalf("root=%d: chunk from %d wrong: %v", root, src, chunk)
+			}
+		}
+	}
+}
+
+func TestScatterDistributes(t *testing.T) {
+	tp := topo.Wilkes3(2)
+	p := tp.TotalGPUs()
+	const root = 2
+	var mu sync.Mutex
+	got := make([]int, p)
+	run(tp, func(r *cluster.Rank) {
+		var chunks [][]int
+		if r.ID == root {
+			chunks = make([][]int, p)
+			for d := range chunks {
+				chunks[d] = []int{d * 7}
+			}
+		}
+		mine := Scatter(r, root, chunks, 8, "s")
+		mu.Lock()
+		got[r.ID] = mine[0]
+		mu.Unlock()
+	})
+	for rank, v := range got {
+		if v != rank*7 {
+			t.Fatalf("rank %d got %d", rank, v)
+		}
+	}
+}
+
+func TestScatterWrongChunksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	run(topo.SingleNode(2), func(r *cluster.Rank) {
+		var chunks [][]int
+		if r.ID == 0 {
+			chunks = make([][]int, 1) // wrong count
+		}
+		Scatter(r, 0, chunks, 8, "s")
+	})
+}
+
+func TestGatherScatterInvalidRootPanics(t *testing.T) {
+	for _, f := range []func(r *cluster.Rank){
+		func(r *cluster.Rank) { Gather(r, 9, []int{1}, 8, "x") },
+		func(r *cluster.Rank) { Scatter[int](r, -1, nil, 8, "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			run(topo.SingleNode(2), f)
+		}()
+	}
+}
+
+func TestReduceScatterSumCorrect(t *testing.T) {
+	for _, gpus := range []int{1, 2, 4, 8} {
+		tp := topo.ForGPUs(gpus)
+		p := tp.TotalGPUs()
+		const n = 23
+		var mu sync.Mutex
+		blocks := make(map[int][]float64)
+		offsets := make(map[int]int)
+		run(tp, func(r *cluster.Rank) {
+			mine := make([]float64, n)
+			for i := range mine {
+				mine[i] = float64(r.ID + i*i)
+			}
+			block, off := ReduceScatterSum(r, mine, "rs")
+			mu.Lock()
+			blocks[r.ID] = block
+			offsets[r.ID] = off
+			mu.Unlock()
+		})
+		// Reassemble and check against the expected sums.
+		full := make([]float64, n)
+		covered := make([]bool, n)
+		for rank, block := range blocks {
+			off := offsets[rank]
+			for i, v := range block {
+				if covered[off+i] {
+					t.Fatalf("gpus=%d: element %d covered twice", gpus, off+i)
+				}
+				covered[off+i] = true
+				full[off+i] = v
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !covered[i] {
+				t.Fatalf("gpus=%d: element %d not covered", gpus, i)
+			}
+			want := 0.0
+			for s := 0; s < p; s++ {
+				want += float64(s + i*i)
+			}
+			if math.Abs(full[i]-want) > 1e-9 {
+				t.Fatalf("gpus=%d elem %d: got %v want %v", gpus, i, full[i], want)
+			}
+		}
+	}
+}
+
+func TestReduceScatterMatchesAllReducePrefix(t *testing.T) {
+	// ReduceScatter must agree with the corresponding slice of AllReduce.
+	tp := topo.SingleNode(4)
+	const n = 16
+	var mu sync.Mutex
+	rsBlocks := map[int][]float64{}
+	rsOffsets := map[int]int{}
+	var arFull []float64
+	run(tp, func(r *cluster.Rank) {
+		mine := make([]float64, n)
+		for i := range mine {
+			mine[i] = float64(r.ID*n + i)
+		}
+		block, off := ReduceScatterSum(r, append([]float64(nil), mine...), "rs")
+		full := AllReduceSum(r, mine, "ar")
+		mu.Lock()
+		rsBlocks[r.ID] = block
+		rsOffsets[r.ID] = off
+		if r.ID == 0 {
+			arFull = full
+		}
+		mu.Unlock()
+	})
+	for rank, block := range rsBlocks {
+		off := rsOffsets[rank]
+		for i, v := range block {
+			if math.Abs(v-arFull[off+i]) > 1e-9 {
+				t.Fatalf("rank %d block elem %d: rs %v vs ar %v", rank, i, v, arFull[off+i])
+			}
+		}
+	}
+}

@@ -1,0 +1,466 @@
+// Package engine runs distributed GPT MoE inference on the simulated
+// cluster, implementing the three expert-parallelism schemes the paper
+// compares:
+//
+//   - Vanilla (Deepspeed-MoE style): data parallelism keeps every token's
+//     context on its home GPU, so every MoE layer needs TWO Alltoalls —
+//     dispatch to the expert's GPU, combine back home for the next
+//     attention (paper Fig 3).
+//   - Context-coherent (ExFlow without affinity): every GPU replicates all
+//     requests' contexts, so a token attends in place wherever its last
+//     expert lived; each layer needs ONE Alltoall, plus one Allgather per
+//     iteration to share newly generated tokens (paper Section IV-A).
+//   - ExFlow: context-coherent execution under an affinity-optimized expert
+//     placement, so most dispatches stay on the current GPU or node.
+//
+// The engine performs the real (ComputeDim-width) forward math — embeddings,
+// attention over KV caches, gating, expert FFNs, greedy decode — so that all
+// three modes provably generate identical tokens (the paper's "no accuracy
+// degradation"), while the simulated clock is charged with paper-scale
+// compute costs (moe.CostModel) and topology-aware communication costs.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// Mode selects the parallelism scheme.
+type Mode int
+
+const (
+	// Vanilla is Deepspeed-MoE-style expert parallelism: two Alltoalls per
+	// MoE layer.
+	Vanilla Mode = iota
+	// ContextCoherent is ExFlow's one-Alltoall scheme without affinity
+	// placement.
+	ContextCoherent
+	// ExFlow is ContextCoherent plus an affinity-optimized placement; the
+	// dataflow is identical to ContextCoherent, the distinction exists for
+	// labeling in reports.
+	ExFlow
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Vanilla:
+		return "vanilla"
+	case ContextCoherent:
+		return "context-coherent"
+	case ExFlow:
+		return "exflow"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// coherent reports whether the mode uses context-coherent dataflow.
+func (m Mode) coherent() bool { return m != Vanilla }
+
+// Config describes one inference run.
+type Config struct {
+	Model     *moe.Model
+	Router    moe.Router
+	Topo      *topo.Topology
+	Placement *placement.Placement
+	Mode      Mode
+	Cost      moe.CostModel
+
+	// RequestsPerGPU is the data-parallel batch per GPU (the paper's N is
+	// tokens per GPU; with one in-flight token per request per iteration,
+	// N = RequestsPerGPU).
+	RequestsPerGPU int
+	// CapacityFactor, when positive, enforces GShard-style expert capacity:
+	// each expert accepts at most ceil(CapacityFactor * totalTokens * TopK /
+	// Experts) tokens per layer per iteration; the rest are dropped
+	// (residual passthrough). Zero disables capacity limits ("variable
+	// token capacity", Section V-A).
+	CapacityFactor float64
+	// HierarchicalA2A routes token dispatch through node leaders
+	// (collective.HierarchicalAlltoall) instead of the flat pairwise
+	// schedule — fewer inter-node messages when chunks are latency-bound.
+	HierarchicalA2A bool
+	// PromptLen is the number of context tokens prefilled per request.
+	PromptLen int
+	// GenerateTokens is the number of decode iterations.
+	GenerateTokens int
+	// TokenID maps (request, iteration) to the global token identity used
+	// for routing; nil uses a seed-mixed default.
+	TokenID func(req, iter int) uint64
+	// Seed feeds workload generation and the default TokenID.
+	Seed uint64
+}
+
+// validate panics on inconsistent configuration (programmer error).
+func (c *Config) validate() {
+	if c.Model == nil || c.Router == nil || c.Topo == nil || c.Placement == nil {
+		panic("engine: incomplete config")
+	}
+	if c.Placement.GPUs != c.Topo.TotalGPUs() {
+		panic(fmt.Sprintf("engine: placement for %d gpus, topology has %d", c.Placement.GPUs, c.Topo.TotalGPUs()))
+	}
+	if c.Placement.Layers != c.Model.Cfg.Layers || c.Placement.Experts != c.Model.Cfg.Experts {
+		panic("engine: placement shape does not match model")
+	}
+	if c.Router.Experts() != c.Model.Cfg.Experts {
+		panic("engine: router expert count does not match model")
+	}
+	if c.RequestsPerGPU <= 0 || c.GenerateTokens <= 0 || c.PromptLen < 0 {
+		panic("engine: invalid workload")
+	}
+}
+
+// tokenID resolves the token identity function.
+func (c *Config) tokenID(req, iter int) uint64 {
+	if c.TokenID != nil {
+		return c.TokenID(req, iter)
+	}
+	return rng.Mix64(c.Seed, 0x70CE, uint64(req), uint64(iter))
+}
+
+// token is a unit of in-flight work: one request's current decode position.
+type token struct {
+	req    int
+	id     uint64
+	home   int
+	hidden []float32
+	prev   int // expert at the previous layer (-1 before layer 0)
+}
+
+// expertJob is one (token, expert) dispatch: top-k gating produces k jobs
+// per token per layer. The primary job (k = 0) carries the token itself in
+// coherent modes; every job's expert output is routed to combineAt, where
+// the weighted mixture and the residual are applied.
+type expertJob struct {
+	tok       *token
+	kIdx      int
+	expert    int
+	weight    float64
+	combineAt int
+	hidden    []float32 // expert input (post-attention activation)
+	out       []float32 // expert output, nil when dropped
+	dropped   bool
+}
+
+// enforceCapacity marks jobs beyond each expert's capacity as dropped,
+// smallest token ids kept first — a deterministic rule that every mode and
+// every rank applies identically, so capacity never breaks the
+// identical-outputs invariant across modes.
+func enforceCapacity(jobs []*expertJob, capacity int, m *rankMetrics) {
+	byExpert := map[int][]*expertJob{}
+	for _, j := range jobs {
+		byExpert[j.expert] = append(byExpert[j.expert], j)
+	}
+	for _, js := range byExpert {
+		if len(js) <= capacity {
+			continue
+		}
+		sort.Slice(js, func(a, b int) bool {
+			if js[a].tok.id != js[b].tok.id {
+				return js[a].tok.id < js[b].tok.id
+			}
+			return js[a].kIdx < js[b].kIdx
+		})
+		for _, j := range js[capacity:] {
+			j.dropped = true
+			m.droppedJobs++
+		}
+	}
+}
+
+// combineJobs applies the weighted expert mixture plus residual and norm
+// for every token whose jobs have arrived at this rank, returning the
+// tokens now resident here (sorted by request for determinism). Dropped
+// jobs contribute nothing: the token passes through on its residual.
+func combineJobs(mdl *moe.Model, jobs []*expertJob) []*token {
+	byTok := map[*token][]*expertJob{}
+	for _, j := range jobs {
+		byTok[j.tok] = append(byTok[j.tok], j)
+	}
+	out := make([]*token, 0, len(byTok))
+	for t, js := range byTok {
+		sort.Slice(js, func(a, b int) bool { return js[a].kIdx < js[b].kIdx })
+		for _, j := range js {
+			if j.dropped || j.out == nil {
+				continue
+			}
+			w := float32(j.weight)
+			for i := range t.hidden {
+				t.hidden[i] += w * j.out[i]
+			}
+		}
+		mdl.LayerNorm(t.hidden)
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].req < out[b].req })
+	return out
+}
+
+// request holds the per-request state shared (coherently) across ranks.
+// In coherent modes this sharing models the replicated context; in vanilla
+// mode only the home rank ever touches it.
+type request struct {
+	home   int
+	caches []*moe.KVCache // per layer
+	prompt []int
+	output []int
+}
+
+// Run executes the configured inference and returns the measurement report.
+func Run(cfg Config) *Report {
+	cfg.validate()
+	mdl := cfg.Model
+	mcfg := mdl.Cfg
+	cl := cluster.New(cfg.Topo)
+	gpus := cl.Size()
+	totalReqs := gpus * cfg.RequestsPerGPU
+
+	// Build requests with deterministic prompts.
+	reqs := make([]*request, totalReqs)
+	wr := rng.New(rng.Mix64(cfg.Seed, 0x9E9))
+	for r := range reqs {
+		reqs[r] = &request{home: r / cfg.RequestsPerGPU}
+		reqs[r].caches = make([]*moe.KVCache, mcfg.Layers)
+		for l := range reqs[r].caches {
+			reqs[r].caches[l] = &moe.KVCache{}
+		}
+		reqs[r].prompt = make([]int, cfg.PromptLen)
+		for i := range reqs[r].prompt {
+			reqs[r].prompt[i] = wr.Intn(1 << 16)
+		}
+	}
+
+	perRank := make([]*rankMetrics, gpus)
+	ranks := cl.Run(func(rk *cluster.Rank) {
+		m := newRankMetrics()
+		perRank[rk.ID] = m
+		runRank(rk, &cfg, reqs, m)
+	})
+
+	return buildReport(&cfg, reqs, ranks, perRank)
+}
+
+// runRank is the SPMD body executed by every simulated GPU.
+func runRank(rk *cluster.Rank, cfg *Config, reqs []*request, m *rankMetrics) {
+	mdl := cfg.Model
+	mcfg := mdl.Cfg
+	gpus := rk.Cluster.Size()
+	wire := mcfg.TokenWireBytes()
+
+	// --- Prefill ---------------------------------------------------------
+	// Each home rank computes its requests' prompt KV caches. The per-token
+	// per-layer cost is a KV projection; the math is shared Go memory, but
+	// only the home rank writes a request's caches here.
+	for _, req := range reqs {
+		if req.home != rk.ID {
+			continue
+		}
+		for _, tok := range req.prompt {
+			h := mdl.Embed(tok)
+			for l := 0; l < mcfg.Layers; l++ {
+				k, v := mdl.Attention(l).Project(h)
+				req.caches[l].Append(k, v)
+			}
+		}
+	}
+	prefillTime := float64(cfg.PromptLen) * float64(mcfg.Layers) * cfg.Cost.Time(0.5*moe.AttentionFlops(mcfg, cfg.PromptLen))
+	rk.Advance("prefill", float64(cfg.RequestsPerGPU)*prefillTime)
+
+	// Context-coherent modes start by allgathering all contexts (paper
+	// Fig 4, "before inference"). Volume: each rank's prompts.
+	if cfg.Mode.coherent() {
+		payload := make([]byte, cfg.RequestsPerGPU*cfg.PromptLen) // placeholder content
+		all := collective.Allgather(rk, payload, wire, "allgather")
+		m.allgatherBytes += collective.TotalBytes(all, wire) - len(payload)*wire
+	}
+	rk.Barrier()
+
+	// --- Decode iterations ----------------------------------------------
+	for iter := 0; iter < cfg.GenerateTokens; iter++ {
+		// Tokens resident on this rank at the current layer boundary.
+		var resident []*token
+		for r, req := range reqs {
+			if req.home != rk.ID {
+				continue
+			}
+			var inputTok int
+			if len(req.output) > 0 {
+				inputTok = req.output[len(req.output)-1]
+			} else if len(req.prompt) > 0 {
+				inputTok = req.prompt[len(req.prompt)-1]
+			}
+			resident = append(resident, &token{
+				req:    r,
+				id:     cfg.tokenID(r, iter),
+				home:   rk.ID,
+				hidden: mdl.Embed(inputTok),
+				prev:   -1,
+			})
+		}
+
+		topK := mcfg.TopK
+		// GShard capacity per expert per layer (0 = unlimited).
+		capacity := 0
+		if cfg.CapacityFactor > 0 {
+			totalTokens := gpus * cfg.RequestsPerGPU
+			capacity = int(math.Ceil(cfg.CapacityFactor * float64(totalTokens) * float64(topK) / float64(mcfg.Experts)))
+			if capacity < 1 {
+				capacity = 1
+			}
+		}
+
+		for layer := 0; layer < mcfg.Layers; layer++ {
+			// 1. Attention in place for resident tokens.
+			for _, t := range resident {
+				ctxLen := reqs[t.req].caches[layer].Len()
+				out := mdl.Attention(layer).Forward(t.hidden, reqs[t.req].caches[layer])
+				addResidualNorm(mdl, t.hidden, out)
+				rk.Advance("attention", cfg.Cost.AttentionTime(mcfg, ctxLen+1))
+			}
+			// 2. Gating: top-k experts and mixture weights per token.
+			rk.Advance("gating", cfg.Cost.GatingTime(mcfg, len(resident)))
+			send := make([][]*expertJob, gpus)
+			for _, t := range resident {
+				experts, weights := moe.RouteWeights(cfg.Router, layer, t.id, t.prev, t.hidden)
+				t.prev = experts[0]
+				// The combine site: the primary expert's GPU in coherent
+				// modes (the token continues there), the home GPU in
+				// vanilla mode (the context lives there).
+				combineAt := cfg.Placement.GPUOf(layer, experts[0])
+				if !cfg.Mode.coherent() {
+					combineAt = t.home
+				}
+				for k, e := range experts {
+					owner := cfg.Placement.GPUOf(layer, e)
+					m.recordDispatch(rk, owner)
+					job := &expertJob{
+						tok: t, kIdx: k, expert: e, weight: weights[k],
+						combineAt: combineAt, hidden: t.hidden,
+					}
+					send[owner] = append(send[owner], job)
+				}
+			}
+			// 3. Alltoall #1: dispatch jobs to expert owners.
+			recvJobs := dispatchAlltoall(rk, cfg, send, wire)
+			m.alltoallBytes += outboundBytes(send, rk.ID, wire)
+			var working []*expertJob
+			for _, chunk := range recvJobs {
+				working = append(working, chunk...)
+			}
+			// 4. Expert FFN on the owner, with capacity enforcement: each
+			// expert serves at most `capacity` jobs, smallest token ids
+			// first (a deterministic rule every mode agrees on); the rest
+			// are dropped and pass through as residual-only.
+			if capacity > 0 {
+				enforceCapacity(working, capacity, m)
+			}
+			for _, job := range working {
+				if !job.dropped {
+					e := mdl.Expert(layer, job.expert)
+					job.out = e.Forward(job.hidden)
+					rk.Advance("expert", cfg.Cost.ExpertTime(mcfg))
+				}
+			}
+			// 5. Route outputs to their combine sites. Coherent top-1 skips
+			// the collective entirely: every job is already at its combine
+			// site (owner == combineAt).
+			var combineInput []*expertJob
+			if cfg.Mode.coherent() && topK == 1 {
+				combineInput = working
+			} else {
+				back := make([][]*expertJob, gpus)
+				var local []*expertJob
+				for _, job := range working {
+					if job.combineAt == rk.ID {
+						local = append(local, job)
+						continue
+					}
+					back[job.combineAt] = append(back[job.combineAt], job)
+				}
+				m.alltoallBytes += outboundBytes(back, rk.ID, wire)
+				ret := dispatchAlltoall(rk, cfg, back, wire)
+				combineInput = local
+				for d, chunk := range ret {
+					if d == rk.ID {
+						continue // local chunk placeholder; already in local
+					}
+					combineInput = append(combineInput, chunk...)
+				}
+			}
+			// 6. Weighted combine + residual + norm per token; the tokens
+			// whose combine happened here are resident for the next layer
+			// (coherent) or remain the home batch (vanilla).
+			resident = combineJobs(mdl, combineInput)
+		}
+
+		// Decode next token wherever each token ended up; the LM head is
+		// replicated (it is part of the dense backbone).
+		type genMsg struct {
+			req int
+			tok int
+		}
+		var gen []genMsg
+		for _, t := range resident {
+			next := mdl.NextToken(t.hidden)
+			gen = append(gen, genMsg{req: t.req, tok: next})
+		}
+		if cfg.Mode.coherent() {
+			// Allgather newly generated tokens so every rank's context stays
+			// coherent (paper Fig 4, "upon iteration completion").
+			all := collective.Allgather(rk, gen, wire, "allgather")
+			m.allgatherBytes += collective.TotalBytes(all, wire) - len(gen)*wire
+			// Rank 0 applies the appends once; shared memory models the
+			// replicated context, so a single writer keeps it race-free.
+			if rk.ID == 0 {
+				for _, chunk := range all {
+					for _, g := range chunk {
+						reqs[g.req].output = append(reqs[g.req].output, g.tok)
+					}
+				}
+			}
+		} else {
+			// Vanilla: tokens are home; the home rank records its own.
+			for _, g := range gen {
+				reqs[g.req].output = append(reqs[g.req].output, g.tok)
+			}
+		}
+		rk.Barrier()
+	}
+}
+
+// addResidualNorm applies x = LayerNorm(x + out) in place.
+func addResidualNorm(mdl *moe.Model, x, out []float32) {
+	for i := range x {
+		x[i] += out[i]
+	}
+	mdl.LayerNorm(x)
+}
+
+// dispatchAlltoall selects the flat or hierarchical token-dispatch
+// schedule.
+func dispatchAlltoall(rk *cluster.Rank, cfg *Config, send [][]*expertJob, wire int) [][]*expertJob {
+	if cfg.HierarchicalA2A {
+		return collective.HierarchicalAlltoall(rk, send, wire, "alltoall")
+	}
+	return collective.Alltoall(rk, send, wire, "alltoall")
+}
+
+// outboundBytes sums the wire size of chunks addressed to other ranks.
+func outboundBytes[T any](send [][]T, self, elemBytes int) int {
+	total := 0
+	for d, chunk := range send {
+		if d != self {
+			total += len(chunk) * elemBytes
+		}
+	}
+	return total
+}

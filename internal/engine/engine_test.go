@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/synth"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// testSetup builds a small but non-trivial inference configuration.
+func testSetup(t *testing.T, mode Mode, gpus int, affinityPlacement bool) Config {
+	t.Helper()
+	cfg := moe.GPTM(16)
+	cfg.Layers = 6 // keep runs fast
+	mdl := moe.NewModel(cfg, 1)
+	kernel := synth.NewKernel(synth.KernelParams{Seed: 2, Layers: cfg.Layers, Experts: cfg.Experts, Strength: 0.85})
+	router := synth.NewKernelRouter(kernel, synth.Pile(), 1)
+	tp := topo.ForGPUs(gpus)
+
+	var pl *placement.Placement
+	if affinityPlacement {
+		tr := trace.Collect(router, cfg.Layers, trace.SequentialIDs(2000, synth.Pile().TokenID))
+		pl = placement.Staged(tr.AllTransitionCounts(), cfg.Layers, cfg.Experts, tp, 5)
+	} else {
+		pl = placement.Contiguous(cfg.Layers, cfg.Experts, gpus)
+	}
+	return Config{
+		Model:          mdl,
+		Router:         router,
+		Topo:           tp,
+		Placement:      pl,
+		Mode:           mode,
+		Cost:           moe.DefaultCostModel(),
+		RequestsPerGPU: 2,
+		PromptLen:      8,
+		GenerateTokens: 4,
+		TokenID: func(req, iter int) uint64 {
+			return synth.Pile().TokenID(uint64(1_000_000 + req*1000 + iter))
+		},
+		Seed: 7,
+	}
+}
+
+func TestRunProducesTokens(t *testing.T) {
+	rep := Run(testSetup(t, Vanilla, 8, false))
+	if rep.GeneratedTokens != 8*2*4 {
+		t.Fatalf("generated %d tokens, want %d", rep.GeneratedTokens, 8*2*4)
+	}
+	if rep.SimSeconds <= 0 || rep.Throughput <= 0 {
+		t.Fatalf("bad timing: %+v", rep)
+	}
+	for r, out := range rep.Outputs {
+		if len(out) != 4 {
+			t.Fatalf("request %d generated %d tokens", r, len(out))
+		}
+	}
+}
+
+func TestModesGenerateIdenticalTokens(t *testing.T) {
+	// The paper's core claim: ExFlow changes *where* computation happens,
+	// never *what* is computed — no accuracy degradation. All three modes
+	// must emit identical token streams.
+	van := Run(testSetup(t, Vanilla, 8, false))
+	coh := Run(testSetup(t, ContextCoherent, 8, false))
+	exf := Run(testSetup(t, ExFlow, 8, true))
+	for r := range van.Outputs {
+		for i := range van.Outputs[r] {
+			if van.Outputs[r][i] != coh.Outputs[r][i] {
+				t.Fatalf("vanilla vs coherent diverge at req %d pos %d", r, i)
+			}
+			if van.Outputs[r][i] != exf.Outputs[r][i] {
+				t.Fatalf("vanilla vs exflow diverge at req %d pos %d", r, i)
+			}
+		}
+	}
+}
+
+func TestContextCoherentHalvesAlltoall(t *testing.T) {
+	van := Run(testSetup(t, Vanilla, 8, false))
+	coh := Run(testSetup(t, ContextCoherent, 8, false))
+	// Vanilla sends every dispatched token twice (dispatch + combine);
+	// coherent sends it at most once. Bytes should drop by roughly half or
+	// more (tokens that stay local send nothing).
+	if coh.AlltoallBytes >= van.AlltoallBytes*3/4 {
+		t.Fatalf("coherent alltoall bytes %d not clearly below vanilla %d",
+			coh.AlltoallBytes, van.AlltoallBytes)
+	}
+	if coh.AllgatherBytes == 0 {
+		t.Fatal("coherent mode must pay for allgather")
+	}
+	if van.AllgatherBytes != 0 {
+		t.Fatal("vanilla mode must not use allgather")
+	}
+}
+
+func TestExFlowImprovesLocalityAndThroughput(t *testing.T) {
+	coh := Run(testSetup(t, ContextCoherent, 8, false))
+	exf := Run(testSetup(t, ExFlow, 8, true))
+	if exf.FracDispatchLocal() <= coh.FracDispatchLocal() {
+		t.Fatalf("affinity placement should raise same-GPU dispatches: %v vs %v",
+			exf.FracDispatchLocal(), coh.FracDispatchLocal())
+	}
+	if exf.Throughput <= coh.Throughput {
+		t.Fatalf("exflow throughput %v should beat coherent %v", exf.Throughput, coh.Throughput)
+	}
+}
+
+func TestExFlowBeatsVanillaThroughput(t *testing.T) {
+	van := Run(testSetup(t, Vanilla, 8, false))
+	exf := Run(testSetup(t, ExFlow, 8, true))
+	if exf.Throughput <= van.Throughput {
+		t.Fatalf("exflow throughput %v should beat vanilla %v (the paper's headline)",
+			exf.Throughput, van.Throughput)
+	}
+}
+
+func TestBreakdownCategoriesPresent(t *testing.T) {
+	rep := Run(testSetup(t, Vanilla, 4, false))
+	for _, cat := range []string{"attention", "expert", "gating", "alltoall"} {
+		if rep.Breakdown[cat] <= 0 {
+			t.Fatalf("missing breakdown category %q: %v", cat, rep.Breakdown)
+		}
+	}
+	if rep.ComputeSeconds() <= 0 || rep.CommSeconds() <= 0 {
+		t.Fatal("aggregate compute/comm must be positive")
+	}
+	share := rep.AlltoallShare()
+	if share <= 0 || share >= 1 {
+		t.Fatalf("alltoall share %v out of (0,1)", share)
+	}
+}
+
+func TestAlltoallShareGrowsWithNodes(t *testing.T) {
+	// Paper Fig 9: the Alltoall proportion rises steeply as nodes are added.
+	share4 := Run(testSetup(t, Vanilla, 4, false)).AlltoallShare()
+	share16 := Run(testSetup(t, Vanilla, 16, false)).AlltoallShare()
+	if share16 <= share4 {
+		t.Fatalf("alltoall share should grow with nodes: 4gpu=%v 16gpu=%v", share4, share16)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := Run(testSetup(t, ExFlow, 8, true))
+	b := Run(testSetup(t, ExFlow, 8, true))
+	if math.Abs(a.SimSeconds-b.SimSeconds) > 1e-12 {
+		t.Fatalf("sim time not deterministic: %v vs %v", a.SimSeconds, b.SimSeconds)
+	}
+	if a.AlltoallBytes != b.AlltoallBytes || a.DispatchSameGPU != b.DispatchSameGPU {
+		t.Fatal("metrics not deterministic")
+	}
+	for r := range a.Outputs {
+		for i := range a.Outputs[r] {
+			if a.Outputs[r][i] != b.Outputs[r][i] {
+				t.Fatal("outputs not deterministic")
+			}
+		}
+	}
+}
+
+func TestDispatchCountsConsistent(t *testing.T) {
+	cfg := testSetup(t, ContextCoherent, 8, false)
+	rep := Run(cfg)
+	total := rep.DispatchSameGPU + rep.DispatchSameNode + rep.DispatchCrossNode
+	want := 8 * cfg.RequestsPerGPU * cfg.GenerateTokens * cfg.Model.Cfg.Layers
+	if total != want {
+		t.Fatalf("dispatch count %d, want %d", total, want)
+	}
+}
+
+func TestSingleGPUAllLocal(t *testing.T) {
+	rep := Run(testSetup(t, ContextCoherent, 1, false))
+	if rep.FracDispatchLocal() != 1 {
+		t.Fatalf("single GPU must keep all dispatches local, got %v", rep.FracDispatchLocal())
+	}
+	if rep.AlltoallBytes != 0 {
+		t.Fatal("single GPU must move no alltoall bytes")
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	base := testSetup(t, Vanilla, 4, false)
+	mutations := []func(c Config) Config{
+		func(c Config) Config { c.Model = nil; return c },
+		func(c Config) Config { c.RequestsPerGPU = 0; return c },
+		func(c Config) Config { c.Placement = placement.Contiguous(3, 16, 4); return c },
+		func(c Config) Config { c.Topo = topo.ForGPUs(8); return c },
+	}
+	for i, mut := range mutations {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("mutation %d: expected panic", i)
+				}
+			}()
+			Run(mut(base))
+		}()
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Vanilla.String() != "vanilla" || ContextCoherent.String() != "context-coherent" || ExFlow.String() != "exflow" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Run(testSetup(t, ExFlow, 4, true))
+	s := rep.String()
+	if len(s) == 0 || rep.FracDispatchIntraNode() < rep.FracDispatchLocal() {
+		t.Fatalf("report rendering or locality ordering wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/synth"
+	"repro/internal/topo"
+)
+
+// top2Setup builds a top-2 gating configuration.
+func top2Setup(t *testing.T, mode Mode, gpus int, capacityFactor float64) Config {
+	t.Helper()
+	cfg := moe.GPTM(16)
+	cfg.Layers = 5
+	cfg.TopK = 2
+	mdl := moe.NewModel(cfg, 1)
+	kernel := synth.NewKernel(synth.KernelParams{Seed: 4, Layers: cfg.Layers, Experts: cfg.Experts, Strength: 0.85})
+	router := synth.NewKernelRouter(kernel, synth.Pile(), 2)
+	tp := topo.ForGPUs(gpus)
+	return Config{
+		Model:          mdl,
+		Router:         router,
+		Topo:           tp,
+		Placement:      placement.Contiguous(cfg.Layers, cfg.Experts, gpus),
+		Mode:           mode,
+		Cost:           moe.DefaultCostModel(),
+		RequestsPerGPU: 2,
+		PromptLen:      6,
+		GenerateTokens: 3,
+		CapacityFactor: capacityFactor,
+		Seed:           9,
+	}
+}
+
+func TestTop2ModesGenerateIdenticalTokens(t *testing.T) {
+	van := Run(top2Setup(t, Vanilla, 8, 0))
+	coh := Run(top2Setup(t, ContextCoherent, 8, 0))
+	for r := range van.Outputs {
+		for i := range van.Outputs[r] {
+			if van.Outputs[r][i] != coh.Outputs[r][i] {
+				t.Fatalf("top-2 outputs diverge at req %d pos %d", r, i)
+			}
+		}
+	}
+}
+
+func TestTop2DoublesDispatches(t *testing.T) {
+	top1 := Run(testSetup(t, Vanilla, 8, false))
+	top2 := Run(top2Setup(t, Vanilla, 8, 0))
+	d1 := top1.DispatchSameGPU + top1.DispatchSameNode + top1.DispatchCrossNode
+	d2 := top2.DispatchSameGPU + top2.DispatchSameNode + top2.DispatchCrossNode
+	// Different layer counts (6 vs 5); normalize per layer per token.
+	perLayer1 := float64(d1) / float64(top1.GeneratedTokens*6)
+	perLayer2 := float64(d2) / float64(top2.GeneratedTokens*5)
+	if perLayer2 != 2*perLayer1 {
+		t.Fatalf("top-2 should exactly double per-layer dispatches: %v vs %v", perLayer2, perLayer1)
+	}
+}
+
+func TestTop2MoreAlltoallBytesThanTop1(t *testing.T) {
+	top2 := Run(top2Setup(t, ContextCoherent, 8, 0))
+	// top-1 coherent config with otherwise similar shape.
+	cfg := top2Setup(t, ContextCoherent, 8, 0)
+	mcfg := moe.GPTM(16)
+	mcfg.Layers = 5
+	cfg.Model = moe.NewModel(mcfg, 1)
+	kernel := synth.NewKernel(synth.KernelParams{Seed: 4, Layers: 5, Experts: 16, Strength: 0.85})
+	cfg.Router = synth.NewKernelRouter(kernel, synth.Pile(), 1)
+	top1 := Run(cfg)
+	if top2.AlltoallBytes <= top1.AlltoallBytes {
+		t.Fatalf("top-2 must move more bytes: %d vs %d", top2.AlltoallBytes, top1.AlltoallBytes)
+	}
+}
+
+func TestTop2CoherentMovesFewerBytes(t *testing.T) {
+	// With top-2 gating both modes need two Alltoalls per layer (dispatch
+	// copies + output combine), so the latency win shrinks — the paper's
+	// headline throughput numbers are all top-1 (Section V-A). What must
+	// still hold is the volume reduction: vanilla returns BOTH expert
+	// outputs to the home GPU, coherent returns only the secondary output
+	// to the primary owner (Table I: 4*L*p vs 2*L*p* + G).
+	van := Run(top2Setup(t, Vanilla, 8, 0))
+	coh := Run(top2Setup(t, ContextCoherent, 8, 0))
+	if coh.AlltoallBytes >= van.AlltoallBytes {
+		t.Fatalf("coherent top-2 must move fewer alltoall bytes: %d vs %d",
+			coh.AlltoallBytes, van.AlltoallBytes)
+	}
+	if coh.Throughput < 0.85*van.Throughput {
+		t.Fatalf("coherent top-2 throughput %v collapsed vs vanilla %v", coh.Throughput, van.Throughput)
+	}
+}
+
+func TestCapacityDropsJobs(t *testing.T) {
+	unlimited := Run(top2Setup(t, ContextCoherent, 8, 0))
+	if unlimited.DroppedJobs != 0 {
+		t.Fatalf("no capacity factor must mean no drops, got %d", unlimited.DroppedJobs)
+	}
+	tight := Run(top2Setup(t, ContextCoherent, 8, 0.5))
+	if tight.DroppedJobs == 0 {
+		t.Fatal("tight capacity should drop jobs")
+	}
+	loose := Run(top2Setup(t, ContextCoherent, 8, 8))
+	if loose.DroppedJobs >= tight.DroppedJobs {
+		t.Fatalf("looser capacity should drop fewer: %d vs %d", loose.DroppedJobs, tight.DroppedJobs)
+	}
+}
+
+func TestCapacityPreservesModeInvariance(t *testing.T) {
+	// Capacity enforcement is owner-side and deterministic, so vanilla and
+	// coherent modes must drop the same jobs and still generate identical
+	// tokens.
+	van := Run(top2Setup(t, Vanilla, 8, 1.0))
+	coh := Run(top2Setup(t, ContextCoherent, 8, 1.0))
+	if van.DroppedJobs != coh.DroppedJobs {
+		t.Fatalf("drop counts differ across modes: %d vs %d", van.DroppedJobs, coh.DroppedJobs)
+	}
+	for r := range van.Outputs {
+		for i := range van.Outputs[r] {
+			if van.Outputs[r][i] != coh.Outputs[r][i] {
+				t.Fatalf("capacity broke output invariance at req %d pos %d", r, i)
+			}
+		}
+	}
+}
+
+func TestCapacityChangesOutputs(t *testing.T) {
+	// Dropping real expert computation must actually change the numbers
+	// (the residual passthrough is not a no-op model-wise).
+	full := Run(top2Setup(t, ContextCoherent, 8, 0))
+	tight := Run(top2Setup(t, ContextCoherent, 8, 0.25))
+	diff := false
+	for r := range full.Outputs {
+		for i := range full.Outputs[r] {
+			if full.Outputs[r][i] != tight.Outputs[r][i] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("severe capacity limits should alter generated tokens")
+	}
+}
+
+func TestHierarchicalDispatchSameOutputs(t *testing.T) {
+	flat := testSetup(t, ExFlow, 8, true)
+	rep1 := Run(flat)
+	hier := testSetup(t, ExFlow, 8, true)
+	hier.HierarchicalA2A = true
+	rep2 := Run(hier)
+	for r := range rep1.Outputs {
+		for i := range rep1.Outputs[r] {
+			if rep1.Outputs[r][i] != rep2.Outputs[r][i] {
+				t.Fatal("hierarchical dispatch changed generated tokens")
+			}
+		}
+	}
+	if rep2.SimSeconds >= rep1.SimSeconds {
+		t.Fatalf("hierarchical dispatch should be faster on 2 nodes: %v vs %v",
+			rep2.SimSeconds, rep1.SimSeconds)
+	}
+}
+
+func TestTop1WeightIsUnity(t *testing.T) {
+	// RouteWeights for a top-1 kernel router must return weight 1, so the
+	// weighted-combine path reduces exactly to the unweighted one.
+	kernel := synth.NewKernel(synth.KernelParams{Seed: 4, Layers: 3, Experts: 8, Strength: 0.7})
+	router := synth.NewKernelRouter(kernel, synth.Pile(), 1)
+	_, weights := moe.RouteWeights(router, 0, 7, -1, nil)
+	if len(weights) != 1 || weights[0] != 1 {
+		t.Fatalf("top-1 weights wrong: %v", weights)
+	}
+}
+
+func TestTop2WeightsNormalizedAndOrdered(t *testing.T) {
+	kernel := synth.NewKernel(synth.KernelParams{Seed: 4, Layers: 3, Experts: 8, Strength: 0.7})
+	router := synth.NewKernelRouter(kernel, synth.Pile(), 2)
+	for tok := uint64(0); tok < 50; tok++ {
+		experts, weights := moe.RouteWeights(router, 1, tok, int(tok)%8, nil)
+		if len(experts) != 2 || len(weights) != 2 {
+			t.Fatal("top-2 shape wrong")
+		}
+		sum := weights[0] + weights[1]
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("weights not normalized: %v", weights)
+		}
+		if weights[0] <= 0 || weights[1] <= 0 {
+			t.Fatalf("non-positive weight: %v", weights)
+		}
+	}
+}

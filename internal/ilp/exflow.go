@@ -1,0 +1,152 @@
+package ilp
+
+import "fmt"
+
+// This file encodes the paper's expert-placement integer program (Formulas
+// 8-12) over a routing trace:
+//
+//	minimize   sum_k sum_j R_{k,j}                          (8)
+//	subject to sum_i x^p_{i,j}   = E/P   for all j, p       (9)  load balance
+//	           sum_p x^p_{i,j}   = 1     for all j, i       (10) exclusivity
+//	           R_{k,j} >= x^p_{i,j} - x^p_{i',j+1}          (11)
+//	           R_{k,j} >= x^p_{i',j+1} - x^p_{i,j}          (12)
+//	where i = e(k,j) and i' = e(k,j+1) are token k's experts.
+//
+// Tokens sharing the same (j, from, to) transition produce identical
+// constraint rows, so they are aggregated into one weighted R variable —
+// an exact reformulation that shrinks the model dramatically.
+
+// PlacementProblem describes an instance.
+type PlacementProblem struct {
+	Layers  int
+	Experts int
+	GPUs    int
+	// Counts[j][from][to] is the number of profiled tokens transitioning
+	// from expert `from` at layer j to expert `to` at layer j+1
+	// (trace.AllTransitionCounts output).
+	Counts [][][]float64
+}
+
+// PlacementModel couples the ILP with the variable layout needed to decode
+// a solution.
+type PlacementModel struct {
+	Model   *Model
+	Problem PlacementProblem
+	xVar    [][][]int // [layer][expert][gpu] -> var index
+}
+
+// BuildPlacement constructs the exact ILP for the problem. It panics if the
+// expert count is not divisible by the GPU count (the paper's balance
+// constraint requires it).
+func BuildPlacement(p PlacementProblem) *PlacementModel {
+	if p.Experts%p.GPUs != 0 {
+		panic(fmt.Sprintf("ilp: experts %d not divisible by gpus %d", p.Experts, p.GPUs))
+	}
+	if len(p.Counts) != p.Layers-1 {
+		panic(fmt.Sprintf("ilp: counts for %d layer pairs, want %d", len(p.Counts), p.Layers-1))
+	}
+	m := NewModel()
+	pm := &PlacementModel{Model: m, Problem: p}
+	cap := p.Experts / p.GPUs
+
+	// Placement variables.
+	pm.xVar = make([][][]int, p.Layers)
+	for j := 0; j < p.Layers; j++ {
+		pm.xVar[j] = make([][]int, p.Experts)
+		for i := 0; i < p.Experts; i++ {
+			pm.xVar[j][i] = make([]int, p.GPUs)
+			for g := 0; g < p.GPUs; g++ {
+				pm.xVar[j][i][g] = m.AddVar(0, fmt.Sprintf("x[l%d,e%d,g%d]", j, i, g))
+			}
+		}
+	}
+	// (9) load balance per layer per GPU.
+	for j := 0; j < p.Layers; j++ {
+		for g := 0; g < p.GPUs; g++ {
+			terms := make([]Term, 0, p.Experts)
+			for i := 0; i < p.Experts; i++ {
+				terms = append(terms, Term{Var: pm.xVar[j][i][g], Coef: 1})
+			}
+			m.AddConstraint(Constraint{Terms: terms, Sense: EQ, RHS: float64(cap),
+				Name: fmt.Sprintf("balance[l%d,g%d]", j, g)})
+		}
+	}
+	// (10) exclusivity per layer per expert.
+	for j := 0; j < p.Layers; j++ {
+		for i := 0; i < p.Experts; i++ {
+			terms := make([]Term, 0, p.GPUs)
+			for g := 0; g < p.GPUs; g++ {
+				terms = append(terms, Term{Var: pm.xVar[j][i][g], Coef: 1})
+			}
+			m.AddConstraint(Constraint{Terms: terms, Sense: EQ, RHS: 1,
+				Name: fmt.Sprintf("exclusive[l%d,e%d]", j, i)})
+		}
+	}
+	// Symmetry breaking: the objective is invariant under a *global* GPU
+	// relabeling (the same permutation applied to every layer), so some
+	// optimal solution places expert 0 of layer 0 on GPU 0. Pinning it
+	// removes a factor-P symmetry without affecting the optimum.
+	m.AddConstraint(Constraint{
+		Terms: []Term{{Var: pm.xVar[0][0][0], Coef: 1}},
+		Sense: EQ, RHS: 1, Name: "symmetry[e0,l0->g0]",
+	})
+	// (8), (11), (12): one aggregated R per observed transition.
+	for j := 0; j < p.Layers-1; j++ {
+		for from := 0; from < p.Experts; from++ {
+			for to := 0; to < p.Experts; to++ {
+				w := p.Counts[j][from][to]
+				if w == 0 {
+					continue
+				}
+				r := m.AddVar(w, fmt.Sprintf("R[l%d,%d->%d]", j, from, to))
+				for g := 0; g < p.GPUs; g++ {
+					m.AddConstraint(Constraint{
+						Terms: []Term{
+							{Var: r, Coef: 1},
+							{Var: pm.xVar[j][from][g], Coef: -1},
+							{Var: pm.xVar[j+1][to][g], Coef: 1},
+						},
+						Sense: GE, RHS: 0,
+						Name: fmt.Sprintf("r11[l%d,%d->%d,g%d]", j, from, to, g),
+					})
+					m.AddConstraint(Constraint{
+						Terms: []Term{
+							{Var: r, Coef: 1},
+							{Var: pm.xVar[j][from][g], Coef: 1},
+							{Var: pm.xVar[j+1][to][g], Coef: -1},
+						},
+						Sense: GE, RHS: 0,
+						Name: fmt.Sprintf("r12[l%d,%d->%d,g%d]", j, from, to, g),
+					})
+				}
+			}
+		}
+	}
+	return pm
+}
+
+// Solve runs the exact search and decodes the placement: result[j][i] is
+// the GPU holding expert i at layer j. The second return is the optimal
+// number of (weighted) cross-GPU transitions; ok is false when the node
+// budget was exhausted before proving optimality or finding a solution.
+func (pm *PlacementModel) Solve(opts SolveOptions) (placement [][]int, crossings float64, ok bool) {
+	sol := pm.Model.Solve(opts)
+	if !sol.Feasible {
+		return nil, 0, false
+	}
+	p := pm.Problem
+	placement = make([][]int, p.Layers)
+	for j := 0; j < p.Layers; j++ {
+		placement[j] = make([]int, p.Experts)
+		for i := 0; i < p.Experts; i++ {
+			placement[j][i] = -1
+			for g := 0; g < p.GPUs; g++ {
+				if sol.X[pm.xVar[j][i][g]] == 1 {
+					placement[j][i] = g
+					break
+				}
+			}
+		}
+	}
+	return placement, sol.Objective, sol.Optimal
+}

@@ -1,0 +1,186 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomCounts builds a transition-count tensor for a small instance.
+func randomCounts(seed uint64, layers, experts, tokens int, strength float64) [][][]float64 {
+	r := rng.New(seed)
+	counts := make([][][]float64, layers-1)
+	for j := range counts {
+		counts[j] = make([][]float64, experts)
+		for e := range counts[j] {
+			counts[j][e] = make([]float64, experts)
+		}
+	}
+	for k := 0; k < tokens; k++ {
+		prev := r.Intn(experts)
+		for j := 0; j < layers-1; j++ {
+			var next int
+			if r.Float64() < strength {
+				next = (prev + 1) % experts // deterministic successor pattern
+			} else {
+				next = r.Intn(experts)
+			}
+			counts[j][prev][next]++
+			prev = next
+		}
+	}
+	return counts
+}
+
+// bruteForcePlacement enumerates all balanced placements (up to global GPU
+// relabeling fixed by trying all) and returns the minimal crossings.
+func bruteForcePlacement(counts [][][]float64, layers, experts, gpus int) float64 {
+	cap := experts / gpus
+	// Enumerate balanced assignments of one layer as slices.
+	var layerAssignments [][]int
+	assign := make([]int, experts)
+	var rec func(e int, used []int)
+	rec = func(e int, used []int) {
+		if e == experts {
+			layerAssignments = append(layerAssignments, append([]int(nil), assign...))
+			return
+		}
+		for g := 0; g < gpus; g++ {
+			if used[g] < cap {
+				used[g]++
+				assign[e] = g
+				rec(e+1, used)
+				used[g]--
+			}
+		}
+	}
+	rec(0, make([]int, gpus))
+
+	crossings := func(a, b []int, c [][]float64) float64 {
+		total := 0.0
+		for from := range c {
+			for to, w := range c[from] {
+				if w != 0 && a[from] != b[to] {
+					total += w
+				}
+			}
+		}
+		return total
+	}
+
+	best := math.Inf(1)
+	// DFS over layer choices.
+	chosen := make([][]int, layers)
+	var walk func(j int, acc float64)
+	walk = func(j int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if j == layers {
+			best = acc
+			return
+		}
+		for _, la := range layerAssignments {
+			add := 0.0
+			if j > 0 {
+				add = crossings(chosen[j-1], la, counts[j-1])
+			}
+			chosen[j] = la
+			walk(j+1, acc+add)
+		}
+	}
+	walk(0, 0)
+	return best
+}
+
+func TestBuildPlacementValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for indivisible experts")
+		}
+	}()
+	BuildPlacement(PlacementProblem{Layers: 2, Experts: 5, GPUs: 2, Counts: randomCounts(1, 2, 5, 5, 0.5)})
+}
+
+func TestBuildPlacementCountsShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong counts length")
+		}
+	}()
+	BuildPlacement(PlacementProblem{Layers: 3, Experts: 4, GPUs: 2, Counts: randomCounts(1, 2, 4, 5, 0.5)})
+}
+
+func TestPlacementILPMatchesBruteForce(t *testing.T) {
+	for trial := uint64(0); trial < 6; trial++ {
+		layers, experts, gpus := 2, 4, 2
+		if trial%2 == 1 {
+			layers = 3
+		}
+		counts := randomCounts(trial, layers, experts, 12, 0.6)
+		pm := BuildPlacement(PlacementProblem{Layers: layers, Experts: experts, GPUs: gpus, Counts: counts})
+		pl, obj, ok := pm.Solve(SolveOptions{})
+		if !ok {
+			t.Fatalf("trial %d: solver did not prove optimality", trial)
+		}
+		want := bruteForcePlacement(counts, layers, experts, gpus)
+		if math.Abs(obj-want) > 1e-6 {
+			t.Fatalf("trial %d: ilp %v vs brute force %v", trial, obj, want)
+		}
+		// Decoded placement must be balanced and reproduce the objective.
+		for j := 0; j < layers; j++ {
+			counts_ := make([]int, gpus)
+			for e := 0; e < experts; e++ {
+				g := pl[j][e]
+				if g < 0 || g >= gpus {
+					t.Fatalf("trial %d: invalid gpu %d", trial, g)
+				}
+				counts_[g]++
+			}
+			for g, c := range counts_ {
+				if c != experts/gpus {
+					t.Fatalf("trial %d: layer %d gpu %d has %d experts", trial, j, g, c)
+				}
+			}
+		}
+		check := 0.0
+		for j := 0; j < layers-1; j++ {
+			for from := 0; from < experts; from++ {
+				for to, w := range counts[j][from] {
+					if w != 0 && pl[j][from] != pl[j+1][to] {
+						check += w
+					}
+				}
+			}
+		}
+		if math.Abs(check-obj) > 1e-6 {
+			t.Fatalf("trial %d: decoded placement crossings %v != objective %v", trial, check, obj)
+		}
+	}
+}
+
+func TestPlacementILPPerfectAffinityZeroCrossings(t *testing.T) {
+	// A ring successor pattern (expert e -> e+1 mod E) with E=4, P=2 admits
+	// a zero-crossing placement only if the successor groups align; with
+	// cap=2 the groups {e, e+1} can follow the chain. Construct counts with
+	// a strictly block-diagonal-friendly structure instead: experts 0,1
+	// always transition among {0,1} and 2,3 among {2,3}.
+	layers, experts, gpus := 3, 4, 2
+	counts := make([][][]float64, layers-1)
+	for j := range counts {
+		counts[j] = make([][]float64, experts)
+		for e := range counts[j] {
+			counts[j][e] = make([]float64, experts)
+		}
+		counts[j][0][1] = 5
+		counts[j][1][0] = 5
+		counts[j][2][3] = 5
+		counts[j][3][2] = 5
+	}
+	pm := BuildPlacement(PlacementProblem{Layers: layers, Experts: experts, GPUs: gpus, Counts: counts})
+	_, obj, ok := pm.Solve(SolveOptions{})
+	if !ok || obj != 0 {
+		t.Fatalf("block-structured counts must give zero crossings, got %v (ok=%v)", obj, ok)
+	}
+}

@@ -1,0 +1,326 @@
+// Package ilp implements a small exact 0/1 integer linear programming
+// solver: a model builder for binary variables with linear constraints, and
+// a depth-first branch-and-bound search with constraint propagation.
+//
+// The paper formulates expert placement as an ILP (Formulas 8-12) and solves
+// it offline. Production-sized instances are handled by the heuristic
+// pipeline in package placement; this exact solver (a) provides the
+// faithful encoding of the paper's formulation (see exflow.go) and (b)
+// certifies on small instances that the heuristics reach the true optimum.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sense is a constraint comparison direction.
+type Sense int
+
+const (
+	// LE means coef . x <= rhs.
+	LE Sense = iota
+	// GE means coef . x >= rhs.
+	GE
+	// EQ means coef . x == rhs.
+	EQ
+)
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a linear constraint over binary variables.
+type Constraint struct {
+	Terms []Term
+	Sense Sense
+	RHS   float64
+	Name  string
+}
+
+// Model is a 0/1 ILP: minimize Obj . x subject to the constraints.
+type Model struct {
+	numVars     int
+	Obj         []float64
+	Constraints []Constraint
+	names       []string
+}
+
+// NewModel creates an empty model.
+func NewModel() *Model { return &Model{} }
+
+// AddVar adds a binary variable with the given objective coefficient and
+// returns its index.
+func (m *Model) AddVar(objCoef float64, name string) int {
+	m.Obj = append(m.Obj, objCoef)
+	m.names = append(m.names, name)
+	m.numVars++
+	return m.numVars - 1
+}
+
+// NumVars returns the variable count.
+func (m *Model) NumVars() int { return m.numVars }
+
+// VarName returns the debug name of a variable.
+func (m *Model) VarName(v int) string { return m.names[v] }
+
+// AddConstraint registers a constraint; Terms referencing unknown variables
+// panic.
+func (m *Model) AddConstraint(c Constraint) {
+	for _, t := range c.Terms {
+		if t.Var < 0 || t.Var >= m.numVars {
+			panic(fmt.Sprintf("ilp: constraint %q references unknown var %d", c.Name, t.Var))
+		}
+	}
+	m.Constraints = append(m.Constraints, c)
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	// X holds the variable values (0 or 1).
+	X []int
+	// Objective is Obj . X.
+	Objective float64
+	// Optimal is true when the search space was exhausted; false when the
+	// node budget ran out (X is then the best incumbent found, possibly
+	// none — check Feasible).
+	Optimal bool
+	// Feasible is false when no feasible assignment was found.
+	Feasible bool
+	// Nodes is the number of search nodes expanded.
+	Nodes int
+}
+
+// SolveOptions tunes the search.
+type SolveOptions struct {
+	// MaxNodes bounds the search; 0 means DefaultMaxNodes.
+	MaxNodes int
+}
+
+// DefaultMaxNodes is large enough for the test-scale encodings while
+// guaranteeing termination on accidental large models.
+const DefaultMaxNodes = 5_000_000
+
+const (
+	unset = -1
+)
+
+// solver carries the mutable search state.
+type solver struct {
+	m        *Model
+	assign   []int // -1 unset, else 0/1
+	order    []int // branching order
+	best     []int
+	bestObj  float64
+	found    bool
+	nodes    int
+	maxNodes int
+	// per-constraint running bounds of sum over assigned vars, plus the
+	// remaining min/max contribution of unassigned vars.
+	conAssigned []float64
+	conMinFree  []float64
+	conMaxFree  []float64
+}
+
+// Solve runs branch and bound and returns the best solution found.
+func (m *Model) Solve(opts SolveOptions) Solution {
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	s := &solver{
+		m:        m,
+		assign:   make([]int, m.numVars),
+		bestObj:  math.Inf(1),
+		maxNodes: maxNodes,
+	}
+	for i := range s.assign {
+		s.assign[i] = unset
+	}
+	// Branch on structural (zero-objective) variables first: in the
+	// placement encoding these are the x variables, whose assignment
+	// determines the R variables; the R variables (non-zero objective)
+	// come last, where constraint feasibility checks pin them immediately.
+	s.order = make([]int, m.numVars)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		return math.Abs(m.Obj[s.order[a]]) < math.Abs(m.Obj[s.order[b]])
+	})
+	s.initConstraintBounds()
+	s.search(0, 0)
+	sol := Solution{
+		Optimal:  s.nodes < s.maxNodes,
+		Feasible: s.found,
+		Nodes:    s.nodes,
+	}
+	if s.found {
+		sol.X = s.best
+		sol.Objective = s.bestObj
+	}
+	return sol
+}
+
+func (s *solver) initConstraintBounds() {
+	n := len(s.m.Constraints)
+	s.conAssigned = make([]float64, n)
+	s.conMinFree = make([]float64, n)
+	s.conMaxFree = make([]float64, n)
+	for ci, c := range s.m.Constraints {
+		for _, t := range c.Terms {
+			if t.Coef < 0 {
+				s.conMinFree[ci] += t.Coef
+			} else {
+				s.conMaxFree[ci] += t.Coef
+			}
+		}
+	}
+}
+
+// setVar assigns v=val, updating constraint bounds. Returns false if some
+// constraint becomes infeasible.
+func (s *solver) setVar(v, val int) bool {
+	s.assign[v] = val
+	ok := true
+	for ci, c := range s.m.Constraints {
+		touched := false
+		for _, t := range c.Terms {
+			if t.Var != v {
+				continue
+			}
+			touched = true
+			if t.Coef < 0 {
+				s.conMinFree[ci] -= t.Coef
+			} else {
+				s.conMaxFree[ci] -= t.Coef
+			}
+			s.conAssigned[ci] += t.Coef * float64(val)
+		}
+		if touched && !s.conFeasible(ci) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// unsetVar undoes setVar.
+func (s *solver) unsetVar(v, val int) {
+	s.assign[v] = unset
+	for ci, c := range s.m.Constraints {
+		for _, t := range c.Terms {
+			if t.Var != v {
+				continue
+			}
+			if t.Coef < 0 {
+				s.conMinFree[ci] += t.Coef
+			} else {
+				s.conMaxFree[ci] += t.Coef
+			}
+			s.conAssigned[ci] -= t.Coef * float64(val)
+		}
+	}
+}
+
+// conFeasible checks whether constraint ci can still be satisfied given the
+// assigned prefix and the free variables' attainable range.
+func (s *solver) conFeasible(ci int) bool {
+	c := s.m.Constraints[ci]
+	lo := s.conAssigned[ci] + s.conMinFree[ci]
+	hi := s.conAssigned[ci] + s.conMaxFree[ci]
+	const eps = 1e-9
+	switch c.Sense {
+	case LE:
+		return lo <= c.RHS+eps
+	case GE:
+		return hi >= c.RHS-eps
+	default:
+		return lo <= c.RHS+eps && hi >= c.RHS-eps
+	}
+}
+
+// lowerBound returns an admissible bound on the final objective given the
+// current partial assignment: assigned contribution plus every free
+// variable's best-case contribution.
+func (s *solver) lowerBound(assignedObj float64, depth int) float64 {
+	bound := assignedObj
+	for _, v := range s.order[depth:] {
+		if c := s.m.Obj[v]; c < 0 {
+			bound += c
+		}
+	}
+	return bound
+}
+
+func (s *solver) search(depth int, objSoFar float64) {
+	if s.nodes >= s.maxNodes {
+		return
+	}
+	s.nodes++
+	if s.found && s.lowerBound(objSoFar, depth) >= s.bestObj-1e-9 {
+		return
+	}
+	if depth == len(s.order) {
+		if objSoFar < s.bestObj-1e-9 || !s.found {
+			s.bestObj = objSoFar
+			s.best = append([]int(nil), s.assign...)
+			s.found = true
+		}
+		return
+	}
+	v := s.order[depth]
+	// Try the objective-preferred value first.
+	first, second := 0, 1
+	if s.m.Obj[v] < 0 {
+		first, second = 1, 0
+	}
+	for _, val := range []int{first, second} {
+		if s.setVar(v, val) {
+			s.search(depth+1, objSoFar+s.m.Obj[v]*float64(val))
+		}
+		s.unsetVar(v, val)
+		if s.nodes >= s.maxNodes {
+			return
+		}
+	}
+}
+
+// Eval returns the objective value of a full assignment and whether it
+// satisfies all constraints (useful for validating external solutions).
+func (m *Model) Eval(x []int) (float64, bool) {
+	if len(x) != m.numVars {
+		panic("ilp: Eval with wrong assignment length")
+	}
+	obj := 0.0
+	for i, v := range x {
+		if v != 0 && v != 1 {
+			return 0, false
+		}
+		obj += m.Obj[i] * float64(v)
+	}
+	const eps = 1e-9
+	for _, c := range m.Constraints {
+		lhs := 0.0
+		for _, t := range c.Terms {
+			lhs += t.Coef * float64(x[t.Var])
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+eps {
+				return obj, false
+			}
+		case GE:
+			if lhs < c.RHS-eps {
+				return obj, false
+			}
+		default:
+			if math.Abs(lhs-c.RHS) > eps {
+				return obj, false
+			}
+		}
+	}
+	return obj, true
+}

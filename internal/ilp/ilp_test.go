@@ -1,0 +1,160 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSolveTrivialMinimum(t *testing.T) {
+	m := NewModel()
+	a := m.AddVar(3, "a")
+	b := m.AddVar(-2, "b")
+	sol := m.Solve(SolveOptions{})
+	if !sol.Feasible || !sol.Optimal {
+		t.Fatal("unconstrained model must solve")
+	}
+	if sol.X[a] != 0 || sol.X[b] != 1 || sol.Objective != -2 {
+		t.Fatalf("wrong solution: %+v", sol)
+	}
+}
+
+func TestSolveEqualityConstraint(t *testing.T) {
+	// Minimize x0 + 2 x1 + 3 x2 subject to x0 + x1 + x2 == 2.
+	m := NewModel()
+	v := []int{m.AddVar(1, "x0"), m.AddVar(2, "x1"), m.AddVar(3, "x2")}
+	m.AddConstraint(Constraint{
+		Terms: []Term{{v[0], 1}, {v[1], 1}, {v[2], 1}},
+		Sense: EQ, RHS: 2,
+	})
+	sol := m.Solve(SolveOptions{})
+	if !sol.Feasible || sol.Objective != 3 {
+		t.Fatalf("want objective 3, got %+v", sol)
+	}
+	if sol.X[v[0]] != 1 || sol.X[v[1]] != 1 || sol.X[v[2]] != 0 {
+		t.Fatalf("wrong assignment: %v", sol.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	m := NewModel()
+	a := m.AddVar(1, "a")
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}}, Sense: GE, RHS: 2})
+	sol := m.Solve(SolveOptions{})
+	if sol.Feasible {
+		t.Fatal("model should be infeasible")
+	}
+}
+
+func TestSolveLEAndGE(t *testing.T) {
+	// Maximize-ish: minimize -(x0+x1) with x0+x1 <= 1 => objective -1.
+	m := NewModel()
+	a := m.AddVar(-1, "a")
+	b := m.AddVar(-1, "b")
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}, {b, 1}}, Sense: LE, RHS: 1})
+	sol := m.Solve(SolveOptions{})
+	if sol.Objective != -1 {
+		t.Fatalf("want -1, got %v", sol.Objective)
+	}
+}
+
+func TestSolveMatchesExhaustive(t *testing.T) {
+	// Random small models: B&B must agree with exhaustive enumeration.
+	r := rng.New(5)
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(6) // 3..8 vars
+		m := NewModel()
+		for i := 0; i < n; i++ {
+			m.AddVar(r.Float64()*4-2, "v")
+		}
+		nCons := 1 + r.Intn(4)
+		for c := 0; c < nCons; c++ {
+			var terms []Term
+			for i := 0; i < n; i++ {
+				if r.Float64() < 0.6 {
+					terms = append(terms, Term{Var: i, Coef: float64(r.Intn(5) - 2)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			m.AddConstraint(Constraint{
+				Terms: terms,
+				Sense: Sense(r.Intn(3)),
+				RHS:   float64(r.Intn(4) - 1),
+			})
+		}
+		sol := m.Solve(SolveOptions{})
+		// Exhaustive check.
+		bestObj := math.Inf(1)
+		feasible := false
+		x := make([]int, n)
+		for mask := 0; mask < 1<<n; mask++ {
+			for i := range x {
+				x[i] = (mask >> i) & 1
+			}
+			if obj, ok := m.Eval(x); ok {
+				feasible = true
+				if obj < bestObj {
+					bestObj = obj
+				}
+			}
+		}
+		if feasible != sol.Feasible {
+			t.Fatalf("trial %d: feasibility mismatch (bb=%v exhaustive=%v)", trial, sol.Feasible, feasible)
+		}
+		if feasible && math.Abs(bestObj-sol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: bb %v vs exhaustive %v", trial, sol.Objective, bestObj)
+		}
+		if feasible {
+			if obj, ok := m.Eval(sol.X); !ok || math.Abs(obj-sol.Objective) > 1e-9 {
+				t.Fatalf("trial %d: reported solution does not evaluate", trial)
+			}
+		}
+	}
+}
+
+func TestSolveNodeBudget(t *testing.T) {
+	m := NewModel()
+	for i := 0; i < 30; i++ {
+		m.AddVar(0, "x")
+	}
+	sol := m.Solve(SolveOptions{MaxNodes: 5})
+	if sol.Optimal {
+		t.Fatal("tiny node budget cannot prove optimality")
+	}
+}
+
+func TestAddConstraintUnknownVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewModel()
+	m.AddConstraint(Constraint{Terms: []Term{{Var: 3, Coef: 1}}})
+}
+
+func TestEvalValidation(t *testing.T) {
+	m := NewModel()
+	a := m.AddVar(1, "a")
+	m.AddConstraint(Constraint{Terms: []Term{{a, 1}}, Sense: LE, RHS: 0})
+	if _, ok := m.Eval([]int{1}); ok {
+		t.Fatal("violating assignment must not evaluate ok")
+	}
+	if _, ok := m.Eval([]int{2}); ok {
+		t.Fatal("non-binary assignment must not evaluate ok")
+	}
+	if obj, ok := m.Eval([]int{0}); !ok || obj != 0 {
+		t.Fatal("feasible assignment must evaluate")
+	}
+}
+
+func TestVarName(t *testing.T) {
+	m := NewModel()
+	v := m.AddVar(0, "hello")
+	if m.VarName(v) != "hello" || m.NumVars() != 1 {
+		t.Fatal("bookkeeping wrong")
+	}
+}

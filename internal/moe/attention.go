@@ -1,0 +1,112 @@
+package moe
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Attention is a multi-head self-attention module at ComputeDim width with
+// per-sequence KV caching, as used during autoregressive decode.
+type Attention struct {
+	Layer int
+	dim   int
+	heads int
+	wq    *tensor.Matrix
+	wk    *tensor.Matrix
+	wv    *tensor.Matrix
+	wo    *tensor.Matrix
+}
+
+// computeHeads is the head count for the real math; it must divide
+// ComputeDim (config validation guarantees ComputeDim % 4 == 0).
+const computeHeads = 4
+
+// NewAttention builds a deterministic attention module for a layer.
+func NewAttention(seed uint64, layer, dim int) *Attention {
+	r := rng.New(rng.Mix64(seed, 0xA7, uint64(layer)))
+	a := &Attention{
+		Layer: layer,
+		dim:   dim,
+		heads: computeHeads,
+		wq:    tensor.NewMatrix(dim, dim),
+		wk:    tensor.NewMatrix(dim, dim),
+		wv:    tensor.NewMatrix(dim, dim),
+		wo:    tensor.NewMatrix(dim, dim),
+	}
+	initMatrix(r, a.wq)
+	initMatrix(r, a.wk)
+	initMatrix(r, a.wv)
+	initMatrix(r, a.wo)
+	return a
+}
+
+// KVCache stores the per-position key and value vectors of one sequence for
+// one layer. In context-coherent expert parallelism every GPU holds a
+// replica of every sequence's cache, which is what lets a token attend
+// in place on whichever GPU its expert lives.
+type KVCache struct {
+	Keys [][]float32
+	Vals [][]float32
+}
+
+// Len returns the number of cached positions.
+func (kv *KVCache) Len() int { return len(kv.Keys) }
+
+// Clone deep-copies the cache (used when replicating context across GPUs).
+func (kv *KVCache) Clone() *KVCache {
+	c := &KVCache{
+		Keys: make([][]float32, len(kv.Keys)),
+		Vals: make([][]float32, len(kv.Vals)),
+	}
+	for i := range kv.Keys {
+		c.Keys[i] = append([]float32(nil), kv.Keys[i]...)
+		c.Vals[i] = append([]float32(nil), kv.Vals[i]...)
+	}
+	return c
+}
+
+// Append adds a position's key/value pair.
+func (kv *KVCache) Append(k, v []float32) {
+	kv.Keys = append(kv.Keys, k)
+	kv.Vals = append(kv.Vals, v)
+}
+
+// Project computes the key and value vectors for a token activation without
+// attending (used to extend the cache for prompt positions).
+func (a *Attention) Project(x []float32) (k, v []float32) {
+	return tensor.VecMat(x, a.wk), tensor.VecMat(x, a.wv)
+}
+
+// Forward computes one token's attention output over the cached context plus
+// the token itself, appends the token's K/V to the cache, and returns the
+// output projection. This is the standard single-position decode step.
+func (a *Attention) Forward(x []float32, cache *KVCache) []float32 {
+	q := tensor.VecMat(x, a.wq)
+	k, v := a.Project(x)
+	cache.Append(k, v)
+
+	hd := a.dim / a.heads
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	ctx := cache.Len()
+	out := make([]float32, a.dim)
+	scores := make([]float32, ctx)
+	for h := 0; h < a.heads; h++ {
+		lo, hi := h*hd, (h+1)*hd
+		qh := q[lo:hi]
+		for t := 0; t < ctx; t++ {
+			scores[t] = tensor.Dot(qh, cache.Keys[t][lo:hi]) * scale
+		}
+		tensor.Softmax(scores)
+		oh := out[lo:hi]
+		for t := 0; t < ctx; t++ {
+			w := scores[t]
+			vh := cache.Vals[t][lo:hi]
+			for i := range oh {
+				oh[i] += w * vh[i]
+			}
+		}
+	}
+	return tensor.VecMat(out, a.wo)
+}

@@ -1,0 +1,80 @@
+package moe
+
+// CostModel converts the paper-scale arithmetic of each operation into
+// simulated seconds on an A100-class accelerator. The engine charges these
+// times to the simulated clock while the real (ComputeDim-sized) math runs
+// on the CPU.
+//
+// Rates are effective, not peak: decode-time GEMMs with small batches are
+// memory-bandwidth bound on A100s, so the effective throughput is far below
+// the 312 TFLOP/s fp16 peak. The default (see DefaultCostModel) was chosen
+// so the compute/communication proportions reproduce the paper's Fig 9
+// (about 15% Alltoall on one node rising to ~76% on eight nodes).
+type CostModel struct {
+	// FlopsPerSecond is the effective arithmetic rate for large GEMMs
+	// (expert FFN, attention projections).
+	FlopsPerSecond float64
+	// GatingOverhead is a fixed per-layer cost covering the gating softmax,
+	// top-k selection and dispatch index construction (kernel-launch bound
+	// rather than FLOP bound on real systems).
+	GatingOverhead float64
+}
+
+// DefaultCostModel returns the calibrated A100-class model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		FlopsPerSecond: 25e12, // effective decode-time throughput
+		GatingOverhead: 12e-6, // ~12us of launch/softmax/scatter per layer
+	}
+}
+
+// Time converts a FLOP count into simulated seconds.
+func (cm CostModel) Time(flops float64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	return flops / cm.FlopsPerSecond
+}
+
+// ExpertFlops returns the arithmetic of one token through one expert FFN at
+// paper scale: two GEMVs of DModel x DFF.
+func ExpertFlops(c Config) float64 {
+	return 2 * 2 * float64(c.DModel) * float64(c.DFF)
+}
+
+// AttentionFlops returns the arithmetic of one token's decode-time attention
+// at paper scale with ctxLen cached positions: QKV + output projections
+// (4 GEMVs of DModel x DModel) plus score and value mixing over the context.
+func AttentionFlops(c Config, ctxLen int) float64 {
+	d := float64(c.DModel)
+	proj := 4 * 2 * d * d
+	mix := 2 * 2 * d * float64(ctxLen)
+	return proj + mix
+}
+
+// GatingFlops returns the arithmetic of routing one token: a GEMV of
+// DModel x Experts plus the softmax.
+func GatingFlops(c Config) float64 {
+	return 2*float64(c.DModel)*float64(c.Experts) + 5*float64(c.Experts)
+}
+
+// ExpertTime, AttentionTime and GatingTime are the per-token per-layer
+// simulated costs the engine charges.
+
+// ExpertTime returns the simulated seconds for one token through one expert.
+func (cm CostModel) ExpertTime(c Config) float64 {
+	return cm.Time(ExpertFlops(c))
+}
+
+// AttentionTime returns the simulated seconds for one token's attention with
+// the given cached context length.
+func (cm CostModel) AttentionTime(c Config, ctxLen int) float64 {
+	return cm.Time(AttentionFlops(c, ctxLen))
+}
+
+// GatingTime returns the simulated seconds for gating a batch of n tokens in
+// one layer on one GPU (the fixed overhead is per layer, the FLOPs per
+// token).
+func (cm CostModel) GatingTime(c Config, n int) float64 {
+	return cm.GatingOverhead + float64(n)*cm.Time(GatingFlops(c))
+}

@@ -1,0 +1,74 @@
+package moe
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Expert is one feed-forward expert network: y = W2 * gelu(W1*x + b1) + b2,
+// at ComputeDim width (the cost model charges paper-scale time separately).
+type Expert struct {
+	// Layer and Index identify the expert within the model, matching the
+	// paper's E_{i,j} notation (Index = i, Layer = j).
+	Layer, Index int
+
+	w1 *tensor.Matrix // dim x inner
+	b1 []float32
+	w2 *tensor.Matrix // inner x dim
+	b2 []float32
+}
+
+// expertInnerFactor scales the real-math FFN inner width relative to dim,
+// mirroring the 4x of the paper-scale DFF/DModel ratio.
+const expertInnerFactor = 4
+
+// NewExpert builds a deterministic expert whose weights depend only on
+// (seed, layer, index), so every GPU that loads expert E_{i,j} materializes
+// bit-identical parameters — exactly like loading the same checkpoint shard.
+func NewExpert(seed uint64, layer, index, dim int) *Expert {
+	r := rng.New(rng.Mix64(seed, 0xE4, uint64(layer), uint64(index)))
+	inner := dim * expertInnerFactor
+	e := &Expert{
+		Layer: layer,
+		Index: index,
+		w1:    tensor.NewMatrix(dim, inner),
+		b1:    make([]float32, inner),
+		w2:    tensor.NewMatrix(inner, dim),
+		b2:    make([]float32, dim),
+	}
+	initMatrix(r, e.w1)
+	initMatrix(r, e.w2)
+	initVector(r, e.b1)
+	initVector(r, e.b2)
+	return e
+}
+
+// initMatrix fills m with scaled Gaussian entries (Xavier-style).
+func initMatrix(r *rng.RNG, m *tensor.Matrix) {
+	scale := 1.0 / float64(m.Rows)
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormFloat64() * scale)
+	}
+}
+
+func initVector(r *rng.RNG, v []float32) {
+	for i := range v {
+		v[i] = float32(r.NormFloat64() * 0.01)
+	}
+}
+
+// Forward applies the expert FFN to a single token activation and returns a
+// fresh slice.
+func (e *Expert) Forward(x []float32) []float32 {
+	h := tensor.VecMat(x, e.w1)
+	tensor.AddVec(h, e.b1)
+	tensor.GELU(h)
+	y := tensor.VecMat(h, e.w2)
+	tensor.AddVec(y, e.b2)
+	return y
+}
+
+// ParamBytes returns the real in-memory size of this expert's weights.
+func (e *Expert) ParamBytes() int {
+	return 4 * (len(e.w1.Data) + len(e.b1) + len(e.w2.Data) + len(e.b2))
+}

@@ -1,0 +1,122 @@
+package placement
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// AnnealOptions tunes the simulated-annealing refinement.
+type AnnealOptions struct {
+	// Iterations is the number of proposed swaps; zero means 20000.
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule, expressed
+	// as a fraction of the initial objective; zeros mean 0.02 and 1e-5.
+	StartTemp, EndTemp float64
+	Seed               uint64
+}
+
+// Anneal refines a placement by intra-layer expert swaps under a
+// Metropolis acceptance rule. Swapping two experts within one layer
+// preserves the balance constraint by construction, so every visited state
+// is feasible. The returned placement is the best state encountered.
+//
+// The move delta is evaluated incrementally: swapping experts a and b at
+// layer j only changes crossings on transitions incident to a or b at
+// layers j-1->j and j->j+1, so each proposal is O(E) rather than O(L*E^2).
+func Anneal(counts [][][]float64, init *Placement, opts AnnealOptions) *Placement {
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 20000
+	}
+	startT, endT := opts.StartTemp, opts.EndTemp
+	if startT <= 0 {
+		startT = 0.02
+	}
+	if endT <= 0 {
+		endT = 1e-5
+	}
+	p := init.Clone()
+	cur := p.Crossings(counts)
+	best := p.Clone()
+	bestObj := cur
+	if p.GPUs == 1 {
+		return best // single GPU: every placement is equivalent
+	}
+	scale := cur
+	if scale == 0 {
+		scale = 1
+	}
+	r := rng.New(opts.Seed)
+	cool := math.Pow(endT/startT, 1/float64(iters))
+	temp := startT * scale
+
+	// layerDelta computes the change in crossings if experts a and b of
+	// layer j swapped GPUs.
+	layerDelta := func(j, a, b int) float64 {
+		ga, gb := p.Assign[j][a], p.Assign[j][b]
+		if ga == gb {
+			return 0
+		}
+		delta := 0.0
+		contrib := func(e, gOld, gNew int) {
+			if j > 0 {
+				for from := 0; from < p.Experts; from++ {
+					w := counts[j-1][from][e]
+					if w == 0 {
+						continue
+					}
+					gFrom := p.Assign[j-1][from]
+					if gFrom != gOld {
+						delta -= w
+					}
+					if gFrom != gNew {
+						delta += w
+					}
+				}
+			}
+			if j < p.Layers-1 {
+				for to, w := range counts[j][e] {
+					if w == 0 {
+						continue
+					}
+					gTo := p.Assign[j+1][to]
+					if gOld != gTo {
+						delta -= w
+					}
+					if gNew != gTo {
+						delta += w
+					}
+				}
+			}
+		}
+		// Every transition touches at most one of {a, b}: both live at
+		// layer j while transition endpoints sit in adjacent layers, whose
+		// placements are unchanged. So the two contributions are disjoint
+		// and can simply be summed.
+		contrib(a, ga, gb)
+		contrib(b, gb, ga)
+		return delta
+	}
+
+	for it := 0; it < iters; it++ {
+		j := r.Intn(p.Layers)
+		a := r.Intn(p.Experts)
+		b := r.Intn(p.Experts)
+		if a == b || p.Assign[j][a] == p.Assign[j][b] {
+			temp *= cool
+			continue
+		}
+		delta := layerDelta(j, a, b)
+		if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
+			p.Assign[j][a], p.Assign[j][b] = p.Assign[j][b], p.Assign[j][a]
+			cur += delta
+			if cur < bestObj {
+				bestObj = cur
+				best = p.Clone()
+			}
+		}
+		temp *= cool
+	}
+	return best
+}

@@ -1,0 +1,138 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// This file supports online re-placement, a natural extension of the
+// paper's offline pipeline ("paving the way for future research"): when the
+// serving workload drifts, the affinity counts change and a better
+// placement may exist — but moving an expert means copying its parameters
+// across the cluster, which stalls serving. Diff and MigrationPlan quantify
+// that trade so a server can decide whether a re-solve pays for itself.
+
+// Move describes relocating one expert's parameters.
+type Move struct {
+	Layer, Expert int
+	From, To      int
+	Tier          topo.HopClass
+}
+
+// Diff lists the expert moves required to turn placement a into b. The two
+// placements must share shape.
+func Diff(a, b *Placement) []Move {
+	if a.Layers != b.Layers || a.Experts != b.Experts || a.GPUs != b.GPUs {
+		panic("placement: Diff shape mismatch")
+	}
+	var moves []Move
+	for j := 0; j < a.Layers; j++ {
+		for e := 0; e < a.Experts; e++ {
+			if a.Assign[j][e] != b.Assign[j][e] {
+				moves = append(moves, Move{Layer: j, Expert: e, From: a.Assign[j][e], To: b.Assign[j][e]})
+			}
+		}
+	}
+	return moves
+}
+
+// Canonicalize relabels placement b's GPUs (with one global permutation,
+// which never changes b's crossings) to minimize the number of moves from
+// a. Without this, a re-solve that found an equivalent-up-to-relabeling
+// placement would look like a full-cluster migration.
+//
+// The permutation is chosen greedily: GPU labels are matched in decreasing
+// order of how many (layer, expert) slots they share between a and b.
+// Greedy matching is within a factor of optimal for this assignment and is
+// exact in the common near-identical case.
+func Canonicalize(a, b *Placement) *Placement {
+	if a.Layers != b.Layers || a.Experts != b.Experts || a.GPUs != b.GPUs {
+		panic("placement: Canonicalize shape mismatch")
+	}
+	// overlap[p][q]: slots where a uses p and b uses q.
+	overlap := make([][]int, a.GPUs)
+	for p := range overlap {
+		overlap[p] = make([]int, a.GPUs)
+	}
+	for j := 0; j < a.Layers; j++ {
+		for e := 0; e < a.Experts; e++ {
+			overlap[a.Assign[j][e]][b.Assign[j][e]]++
+		}
+	}
+	type pair struct{ p, q, n int }
+	var pairs []pair
+	for p := 0; p < a.GPUs; p++ {
+		for q := 0; q < a.GPUs; q++ {
+			pairs = append(pairs, pair{p, q, overlap[p][q]})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].n > pairs[j].n })
+	permTo := make([]int, a.GPUs) // b-label q -> new label
+	usedP := make([]bool, a.GPUs)
+	usedQ := make([]bool, a.GPUs)
+	for i := range permTo {
+		permTo[i] = -1
+	}
+	for _, pr := range pairs {
+		if usedP[pr.p] || usedQ[pr.q] {
+			continue
+		}
+		permTo[pr.q] = pr.p
+		usedP[pr.p] = true
+		usedQ[pr.q] = true
+	}
+	out := b.Clone()
+	for j := 0; j < b.Layers; j++ {
+		for e := 0; e < b.Experts; e++ {
+			out.Assign[j][e] = permTo[b.Assign[j][e]]
+		}
+	}
+	return out
+}
+
+// MigrationPlan prices a set of moves on a topology.
+type MigrationPlan struct {
+	Moves []Move
+	// Bytes is the total parameter traffic (expertBytes per move).
+	Bytes int
+	// Seconds is the modeled serial transfer time (moves execute one at a
+	// time on the slowest-involved link; a scheduler could parallelize,
+	// making this an upper bound).
+	Seconds float64
+	// CrossNodeMoves counts moves over the inter-node fabric.
+	CrossNodeMoves int
+}
+
+// PriceMigration computes the cost of migrating from a to b (after
+// canonicalization) with the given per-expert parameter size.
+func PriceMigration(a, b *Placement, tp *topo.Topology, expertBytes int) *MigrationPlan {
+	if tp.TotalGPUs() != a.GPUs {
+		panic(fmt.Sprintf("placement: topology %d gpus, placement %d", tp.TotalGPUs(), a.GPUs))
+	}
+	canon := Canonicalize(a, b)
+	moves := Diff(a, canon)
+	plan := &MigrationPlan{Moves: moves}
+	for i := range plan.Moves {
+		m := &plan.Moves[i]
+		m.Tier = tp.Classify(m.From, m.To)
+		plan.Bytes += expertBytes
+		plan.Seconds += tp.TransferTime(m.From, m.To, expertBytes)
+		if m.Tier == topo.CrossNode {
+			plan.CrossNodeMoves++
+		}
+	}
+	return plan
+}
+
+// BreakEvenIterations estimates how many inference iterations the migration
+// must amortize over: migration seconds divided by the per-iteration time
+// saved. Returns +Inf (as a large number is unhelpful, we use -1) when the
+// new placement saves nothing.
+func (mp *MigrationPlan) BreakEvenIterations(savedPerIteration float64) float64 {
+	if savedPerIteration <= 0 {
+		return -1
+	}
+	return mp.Seconds / savedPerIteration
+}

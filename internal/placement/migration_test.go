@@ -1,0 +1,136 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/moe"
+	"repro/internal/topo"
+)
+
+func TestDiffEmptyForIdentical(t *testing.T) {
+	a := Contiguous(3, 8, 4)
+	if moves := Diff(a, a.Clone()); len(moves) != 0 {
+		t.Fatalf("identical placements should need no moves, got %d", len(moves))
+	}
+}
+
+func TestDiffCountsChangedSlots(t *testing.T) {
+	a := Contiguous(3, 8, 4)
+	b := a.Clone()
+	b.Assign[1][0], b.Assign[1][2] = b.Assign[1][2], b.Assign[1][0] // swap two experts
+	moves := Diff(a, b)
+	if len(moves) != 2 {
+		t.Fatalf("swap should be 2 moves, got %d", len(moves))
+	}
+	for _, m := range moves {
+		if m.Layer != 1 {
+			t.Fatalf("unexpected move %+v", m)
+		}
+	}
+}
+
+func TestDiffShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Diff(Contiguous(3, 8, 4), Contiguous(3, 8, 2))
+}
+
+func TestCanonicalizeRemovesPureRelabeling(t *testing.T) {
+	a := Random(4, 16, 4, 1)
+	// b = a with GPUs globally relabeled (0<->3, 1<->2).
+	perm := []int{3, 2, 1, 0}
+	b := a.Clone()
+	for j := range b.Assign {
+		for e := range b.Assign[j] {
+			b.Assign[j][e] = perm[a.Assign[j][e]]
+		}
+	}
+	canon := Canonicalize(a, b)
+	if moves := Diff(a, canon); len(moves) != 0 {
+		t.Fatalf("pure relabeling should canonicalize to zero moves, got %d", len(moves))
+	}
+}
+
+func TestCanonicalizePreservesCrossings(t *testing.T) {
+	tr := makeTrace(31, 5, 16, 1000, 0.8)
+	counts := tr.AllTransitionCounts()
+	a := Contiguous(5, 16, 4)
+	b := Random(5, 16, 4, 9)
+	canon := Canonicalize(a, b)
+	if err := canon.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if canon.Crossings(counts) != b.Crossings(counts) {
+		t.Fatalf("global relabeling must not change crossings: %v vs %v",
+			canon.Crossings(counts), b.Crossings(counts))
+	}
+	if len(Diff(a, canon)) > len(Diff(a, b)) {
+		t.Fatal("canonicalization increased the move count")
+	}
+}
+
+func TestPriceMigration(t *testing.T) {
+	tp := topo.Wilkes3(2)
+	a := Contiguous(4, 16, 8)
+	b := a.Clone()
+	b.Assign[0][0], b.Assign[0][2] = b.Assign[0][2], b.Assign[0][0] // intra-node-ish swap
+	b.Assign[2][0], b.Assign[2][8] = b.Assign[2][8], b.Assign[2][0] // cross-node swap
+	expertBytes := int(moe.GPTM(16).ExpertParams()) * 2             // fp16
+	plan := PriceMigration(a, b, tp, expertBytes)
+	if len(plan.Moves) != 4 {
+		t.Fatalf("expected 4 moves, got %d", len(plan.Moves))
+	}
+	if plan.Bytes != 4*expertBytes {
+		t.Fatalf("bytes %d", plan.Bytes)
+	}
+	if plan.Seconds <= 0 {
+		t.Fatal("migration must take time")
+	}
+	if plan.CrossNodeMoves != 2 {
+		t.Fatalf("cross-node moves %d, want 2", plan.CrossNodeMoves)
+	}
+}
+
+func TestPriceMigrationZeroForRelabeling(t *testing.T) {
+	tp := topo.Wilkes3(2)
+	a := Random(3, 16, 8, 5)
+	perm := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	b := a.Clone()
+	for j := range b.Assign {
+		for e := range b.Assign[j] {
+			b.Assign[j][e] = perm[a.Assign[j][e]]
+		}
+	}
+	plan := PriceMigration(a, b, tp, 1000)
+	if len(plan.Moves) != 0 || plan.Seconds != 0 {
+		t.Fatalf("relabeling-only migration should be free, got %d moves", len(plan.Moves))
+	}
+}
+
+func TestBreakEvenIterations(t *testing.T) {
+	plan := &MigrationPlan{Seconds: 2.0}
+	if got := plan.BreakEvenIterations(0.5); got != 4 {
+		t.Fatalf("break-even %v, want 4", got)
+	}
+	if plan.BreakEvenIterations(0) != -1 {
+		t.Fatal("zero saving should return -1")
+	}
+}
+
+func TestMigrationRealisticDriftScenario(t *testing.T) {
+	// Drift: placement solved on one workload, re-solved on a shifted one.
+	// The migration should touch only part of the cluster, not everything.
+	tp := topo.Wilkes3(2)
+	trA := makeTrace(41, 5, 16, 2000, 0.85)
+	trB := makeTrace(41, 5, 16, 2000, 0.85) // same kernel -> similar counts
+	pa := Staged(trA.AllTransitionCounts(), 5, 16, tp, 1)
+	pb := Staged(trB.Sample(1500, 3).AllTransitionCounts(), 5, 16, tp, 2)
+	plan := PriceMigration(pa, pb, tp, 1<<20)
+	total := 5 * 16
+	if len(plan.Moves) == total {
+		t.Fatal("similar workloads should not require moving every expert")
+	}
+}

@@ -1,0 +1,84 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// PopularityReplication models the Lina-style baseline the paper contrasts
+// with (Section VI, [19]): instead of globally optimizing placement, each
+// GPU keeps the contiguous placement and additionally *replicates* the
+// top-k most popular experts of every layer locally, spending extra memory
+// to increase the chance a token finds its next expert on its current GPU.
+type PopularityReplication struct {
+	Base *Placement
+	// Replicas[j] lists the expert indices replicated on every GPU at
+	// layer j.
+	Replicas [][]int
+	// ExtraExpertSlots is the total number of additional expert copies per
+	// GPU across layers — the extra-memory cost the paper's Table I points
+	// at.
+	ExtraExpertSlots int
+}
+
+// NewPopularityReplication selects the k most popular experts per layer from
+// a trace and replicates them on all GPUs.
+func NewPopularityReplication(tr *trace.Trace, gpus, k int) *PopularityReplication {
+	base := Contiguous(tr.Layers, tr.Experts, gpus)
+	pr := &PopularityReplication{
+		Base:     base,
+		Replicas: make([][]int, tr.Layers),
+	}
+	for j := 0; j < tr.Layers; j++ {
+		load := tr.LayerLoad(j)
+		idx := make([]int, tr.Experts)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return load[idx[a]] > load[idx[b]] })
+		if k > tr.Experts {
+			k = tr.Experts
+		}
+		pr.Replicas[j] = append([]int(nil), idx[:k]...)
+		pr.ExtraExpertSlots += k
+	}
+	return pr
+}
+
+// IsLocal reports whether a token currently on GPU g finds expert e of
+// layer j without leaving the GPU (either the home copy or a replica).
+func (pr *PopularityReplication) IsLocal(j, e, g int) bool {
+	if pr.Base.Assign[j][e] == g {
+		return true
+	}
+	for _, rep := range pr.Replicas[j] {
+		if rep == e {
+			return true
+		}
+	}
+	return false
+}
+
+// FractionLocal measures the share of a trace's transitions that stay on
+// the token's current GPU under the replication scheme, assuming tokens
+// start on the home GPU of their layer-0 expert and move only when forced.
+func (pr *PopularityReplication) FractionLocal(tr *trace.Trace) float64 {
+	local, total := 0.0, 0.0
+	for _, path := range tr.Paths {
+		g := pr.Base.Assign[0][path[0]]
+		for j := 0; j+1 < len(path); j++ {
+			next := int(path[j+1])
+			total++
+			if pr.IsLocal(j+1, next, g) {
+				local++
+			} else {
+				g = pr.Base.Assign[j+1][next]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return local / total
+}

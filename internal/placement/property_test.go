@@ -1,0 +1,113 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Property-based tests over randomly shaped instances: the solvers must
+// always emit valid (balanced, exclusive) placements and never worsen the
+// objective relative to their starting point, regardless of trace content.
+
+// randomInstance builds a random small problem from a seed.
+func randomInstance(seed uint64) (tr *trace.Trace, layers, experts, gpus int) {
+	r := rng.New(seed)
+	layers = 2 + r.Intn(5)
+	gpus = []int{2, 4}[r.Intn(2)]
+	experts = gpus * (1 + r.Intn(4))
+	strength := r.Float64()
+	k := synth.NewKernel(synth.KernelParams{
+		Seed: seed, Layers: layers, Experts: experts, Strength: strength,
+	})
+	kr := synth.NewKernelRouter(k, synth.Pile(), 1)
+	tr = trace.Collect(kr, layers, trace.SequentialIDs(100+r.Intn(400), nil))
+	return tr, layers, experts, gpus
+}
+
+func TestPropertySweepAlwaysValidAndNonWorsening(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		init := Random(layers, experts, gpus, seed)
+		out := LayerSweep(counts, layers, experts, gpus, LayerSweepOptions{Init: init, MaxSweeps: 3})
+		if out.Validate() != nil {
+			return false
+		}
+		return out.Crossings(counts) <= init.Crossings(counts)+1e-9
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAnnealAlwaysValidAndNonWorsening(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		init := Contiguous(layers, experts, gpus)
+		out := Anneal(counts, init, AnnealOptions{Iterations: 2000, Seed: seed})
+		if out.Validate() != nil {
+			return false
+		}
+		return out.Crossings(counts) <= init.Crossings(counts)+1e-9
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStagedAlwaysValid(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		nodes := 2 + r.Intn(3)
+		tp := topo.Wilkes3(nodes)
+		gpus := tp.TotalGPUs()
+		experts := gpus * (1 + r.Intn(2))
+		layers := 2 + r.Intn(4)
+		k := synth.NewKernel(synth.KernelParams{Seed: seed, Layers: layers, Experts: experts, Strength: 0.7})
+		kr := synth.NewKernelRouter(k, synth.Pile(), 1)
+		tr := trace.Collect(kr, layers, trace.SequentialIDs(200, nil))
+		out := Staged(tr.AllTransitionCounts(), layers, experts, tp, seed)
+		return out.Validate() == nil && out.GPUs == gpus
+	}, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCrossingsBounds(t *testing.T) {
+	// Crossings is always within [0, total transition weight].
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		pl := Random(layers, experts, gpus, seed^0xABCD)
+		c := pl.Crossings(counts)
+		total := float64(tr.Tokens() * (layers - 1))
+		return c >= 0 && c <= total+1e-9
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCanonicalizeInvariants(t *testing.T) {
+	// Canonicalization never changes the objective and never increases the
+	// move count versus the raw diff.
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		a := Random(layers, experts, gpus, seed)
+		b := Random(layers, experts, gpus, seed^0x5555)
+		canon := Canonicalize(a, b)
+		if canon.Validate() != nil {
+			return false
+		}
+		if canon.Crossings(counts) != b.Crossings(counts) {
+			return false
+		}
+		return len(Diff(a, canon)) <= len(Diff(a, b))
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

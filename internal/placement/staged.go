@@ -1,0 +1,89 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Solve runs the production single-level pipeline: LayerSweep coordinate
+// descent refined by simulated annealing. seed feeds the annealer.
+func Solve(counts [][][]float64, layers, experts, gpus int, seed uint64) *Placement {
+	p := LayerSweep(counts, layers, experts, gpus, LayerSweepOptions{})
+	return Anneal(counts, p, AnnealOptions{Seed: seed})
+}
+
+// Staged implements the paper's two-stage hierarchical optimization
+// (Section IV-C / IV-D): because inter-node links are far slower than
+// NVLink, stage 1 first minimizes *inter-node* transitions by solving the
+// placement problem with one "GPU" per node (capacity C2 = E/nodes), and
+// stage 2 then minimizes *intra-node* transitions by solving an independent
+// subproblem inside each node, distributing that node's experts over its
+// GPUs (capacity C1 = E/P). The objective function is identical in both
+// stages — only what counts as a "crossing" changes — exactly as the paper
+// applies Formula 8 top-down.
+func Staged(counts [][][]float64, layers, experts int, tp *topo.Topology, seed uint64) *Placement {
+	gpus := tp.TotalGPUs()
+	checkShape(experts, gpus)
+	if tp.Nodes == 1 {
+		return Solve(counts, layers, experts, gpus, seed)
+	}
+	if experts%tp.Nodes != 0 {
+		panic(fmt.Sprintf("placement: experts %d not divisible by nodes %d", experts, tp.Nodes))
+	}
+
+	// Stage 1: place experts onto nodes.
+	nodePl := Solve(counts, layers, experts, tp.Nodes, seed)
+
+	// Stage 2: within each node, place its residents onto the node's GPUs.
+	// Each node's subproblem only sees transition weight between experts
+	// resident on the node in adjacent layers — transitions entering or
+	// leaving the node already pay the inter-node price regardless of the
+	// local GPU chosen (stage 1 fixed that), so they do not constrain
+	// stage 2.
+	final := NewPlacement(layers, experts, gpus)
+	perGPU := experts / gpus
+	for node := 0; node < tp.Nodes; node++ {
+		// residents[j] = experts of layer j on this node (in index order).
+		residents := make([][]int, layers)
+		index := make([][]int, layers) // expert -> local slot, or -1
+		for j := 0; j < layers; j++ {
+			index[j] = make([]int, experts)
+			for e := range index[j] {
+				index[j][e] = -1
+			}
+			for e := 0; e < experts; e++ {
+				if nodePl.Assign[j][e] == node {
+					index[j][e] = len(residents[j])
+					residents[j] = append(residents[j], e)
+				}
+			}
+		}
+		perNode := len(residents[0])
+		// Restricted counts between consecutive layers' residents.
+		sub := make([][][]float64, layers-1)
+		for j := 0; j < layers-1; j++ {
+			sub[j] = make([][]float64, perNode)
+			for a := range sub[j] {
+				sub[j][a] = make([]float64, perNode)
+			}
+			for _, from := range residents[j] {
+				for _, to := range residents[j+1] {
+					sub[j][index[j][from]][index[j+1][to]] = counts[j][from][to]
+				}
+			}
+		}
+		subPl := Solve(sub, layers, perNode, tp.GPUsPerNode, seed+uint64(node)+1)
+		for j := 0; j < layers; j++ {
+			for slot, e := range residents[j] {
+				final.Assign[j][e] = tp.Rank(node, subPl.Assign[j][slot])
+			}
+		}
+	}
+	// The construction guarantees balance: each node holds E/nodes experts
+	// per layer and distributes them E/P per GPU.
+	if perGPU*gpus != experts {
+		panic("placement: internal balance accounting error")
+	}
+	return final
+}

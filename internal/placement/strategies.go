@@ -1,0 +1,104 @@
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/affinity"
+	"repro/internal/rng"
+)
+
+// checkShape panics unless experts divide evenly over GPUs.
+func checkShape(experts, gpus int) {
+	if gpus <= 0 || experts <= 0 {
+		panic(fmt.Sprintf("placement: invalid shape E=%d P=%d", experts, gpus))
+	}
+	if experts%gpus != 0 {
+		panic(fmt.Sprintf("placement: experts %d not divisible by gpus %d", experts, gpus))
+	}
+}
+
+// Contiguous returns the Deepspeed-MoE default placement: expert e of every
+// layer lives on GPU e / (E/P). This is the paper's baseline ("the baseline
+// Deepspeed framework does not have any optimization on the placement of
+// inter-layer experts").
+func Contiguous(layers, experts, gpus int) *Placement {
+	checkShape(experts, gpus)
+	p := NewPlacement(layers, experts, gpus)
+	cap := experts / gpus
+	for j := 0; j < layers; j++ {
+		for e := 0; e < experts; e++ {
+			p.Assign[j][e] = e / cap
+		}
+	}
+	return p
+}
+
+// Random returns a per-layer uniformly random balanced placement.
+func Random(layers, experts, gpus int, seed uint64) *Placement {
+	checkShape(experts, gpus)
+	p := NewPlacement(layers, experts, gpus)
+	cap := experts / gpus
+	r := rng.New(seed)
+	for j := 0; j < layers; j++ {
+		perm := r.Perm(experts)
+		for slot, e := range perm {
+			p.Assign[j][e] = slot / cap
+		}
+	}
+	return p
+}
+
+// Greedy builds a placement by chaining most-affiliated experts: layer 0 is
+// contiguous; at each later layer, each GPU grabs (in order of that GPU's
+// current outgoing probability mass) the still-unassigned experts its
+// residents most strongly route to. This is the multi-expert generalization
+// of the paper's Formula 2 local optimum and serves as the warm start for
+// LayerSweep as well as a baseline in the solver ablation.
+func Greedy(aff *affinity.Model, gpus int) *Placement {
+	checkShape(aff.Experts, gpus)
+	p := NewPlacement(aff.Layers, aff.Experts, gpus)
+	cap := aff.Experts / gpus
+	for e := 0; e < aff.Experts; e++ {
+		p.Assign[0][e] = e / cap
+	}
+	for j := 1; j < aff.Layers; j++ {
+		assigned := make([]bool, aff.Experts)
+		count := make([]int, gpus)
+		// Score every (gpu, expert) pair by the probability mass flowing
+		// from the GPU's layer-(j-1) residents into the expert.
+		type cand struct {
+			gpu, expert int
+			score       float64
+		}
+		var cands []cand
+		for g := 0; g < gpus; g++ {
+			srcs := p.ExpertsOn(j-1, g)
+			for e := 0; e < aff.Experts; e++ {
+				score := 0.0
+				for _, s := range srcs {
+					score += aff.Marginal[j-1][s] * aff.P(j-1, s, e)
+				}
+				cands = append(cands, cand{gpu: g, expert: e, score: score})
+			}
+		}
+		// Repeatedly take the globally best remaining (gpu, expert) pair.
+		// Simple selection sort style; instances are small (E*P pairs).
+		for placed := 0; placed < aff.Experts; {
+			best := -1
+			for i, c := range cands {
+				if assigned[c.expert] || count[c.gpu] >= cap {
+					continue
+				}
+				if best == -1 || c.score > cands[best].score {
+					best = i
+				}
+			}
+			c := cands[best]
+			p.Assign[j][c.expert] = c.gpu
+			assigned[c.expert] = true
+			count[c.gpu]++
+			placed++
+		}
+	}
+	return p
+}

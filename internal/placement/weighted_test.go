@@ -1,0 +1,77 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestWeightedSweepValid(t *testing.T) {
+	tp := topo.Wilkes3(2)
+	tr := makeTrace(51, 6, 16, 2000, 0.85)
+	counts := tr.AllTransitionCounts()
+	p := WeightedSweep(counts, 6, 16, tp, 5, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.GPUs != 8 {
+		t.Fatal("gpu count wrong")
+	}
+}
+
+func TestWeightedSweepBeatsContiguousOnBlendedObjective(t *testing.T) {
+	tp := topo.Wilkes3(2)
+	tr := makeTrace(52, 6, 16, 2500, 0.85)
+	counts := tr.AllTransitionCounts()
+	const penalty = 5.0
+	blended := func(p *Placement) float64 {
+		return p.Crossings(counts) + penalty*p.NodeCrossings(counts, tp.GPUsPerNode)
+	}
+	base := Contiguous(6, 16, 8)
+	w := WeightedSweep(counts, 6, 16, tp, penalty, 1)
+	if blended(w) >= blended(base) {
+		t.Fatalf("weighted sweep (%v) should beat contiguous (%v) on its own objective",
+			blended(w), blended(base))
+	}
+}
+
+func TestWeightedSweepCompetitiveWithStaged(t *testing.T) {
+	// Neither dominates in general; the weighted solve must stay within a
+	// reasonable factor of the staged solve on the blended objective, and
+	// specifically should not be catastrophically worse on node crossings.
+	tp := topo.Wilkes3(2)
+	tr := makeTrace(53, 6, 16, 2500, 0.85)
+	counts := tr.AllTransitionCounts()
+	const penalty = 5.0
+	blended := func(p *Placement) float64 {
+		return p.Crossings(counts) + penalty*p.NodeCrossings(counts, tp.GPUsPerNode)
+	}
+	w := WeightedSweep(counts, 6, 16, tp, penalty, 1)
+	s := Staged(counts, 6, 16, tp, 1)
+	if blended(w) > 1.25*blended(s) {
+		t.Fatalf("weighted solve too far behind staged: %v vs %v", blended(w), blended(s))
+	}
+}
+
+func TestWeightedSweepZeroPenaltyMatchesFlatObjective(t *testing.T) {
+	// With zero node penalty the blended objective degenerates to plain
+	// GPU crossings; the result must be comparable with Solve.
+	tp := topo.Wilkes3(2)
+	tr := makeTrace(54, 5, 16, 2000, 0.85)
+	counts := tr.AllTransitionCounts()
+	w := WeightedSweep(counts, 5, 16, tp, 0, 1)
+	flat := Solve(counts, 5, 16, 8, 1)
+	if w.Crossings(counts) > 1.15*flat.Crossings(counts) {
+		t.Fatalf("zero-penalty weighted solve (%v) should track the flat solver (%v)",
+			w.Crossings(counts), flat.Crossings(counts))
+	}
+}
+
+func TestWeightedSweepNegativePenaltyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedSweep(nil, 2, 8, topo.Wilkes3(1), -1, 1)
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is a named sequence of (x, y) points, the unit the experiment
+// harness uses to emit every figure's line data.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Table is a set of series sharing one x-axis, rendered as aligned columns
+// (markdown-ish) or CSV. This is the canonical textual form of each figure.
+type Table struct {
+	Title   string
+	XName   string
+	SeriesL []*Series
+}
+
+// NewTable creates an empty table.
+func NewTable(title, xName string) *Table {
+	return &Table{Title: title, XName: xName}
+}
+
+// AddSeries appends a series to the table.
+func (t *Table) AddSeries(s *Series) { t.SeriesL = append(t.SeriesL, s) }
+
+// NewSeries creates, registers, and returns a fresh series.
+func (t *Table) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	t.AddSeries(s)
+	return s
+}
+
+// xUnion returns the sorted union of all x values across series.
+func (t *Table) xUnion() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.SeriesL {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	// Insertion sort; x axes are tiny.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+func (t *Table) lookup(s *Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Render returns the table as aligned text columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	xs := t.xUnion()
+	fmt.Fprintf(&b, "%-14s", t.XName)
+	for _, s := range t.SeriesL {
+		fmt.Fprintf(&b, " %20s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-14.6g", x)
+		for _, s := range t.SeriesL {
+			if y, ok := t.lookup(s, x); ok {
+				fmt.Fprintf(&b, " %20.6g", y)
+			} else {
+				fmt.Fprintf(&b, " %20s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV returns the table in comma-separated form.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	b.WriteString(t.XName)
+	for _, s := range t.SeriesL {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xUnion() {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range t.SeriesL {
+			if y, ok := t.lookup(s, x); ok {
+				fmt.Fprintf(&b, ",%g", y)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+// Package stats provides the small statistical and presentation helpers the
+// experiment harness relies on: normalization, summary statistics, named
+// series, and textual heatmap rendering for the paper's affinity figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the total of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// Min returns the smallest element; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Normalize returns xs scaled so the values sum to 1. A zero-sum input
+// returns a uniform distribution.
+func Normalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	total := Sum(xs)
+	if total == 0 {
+		if len(xs) == 0 {
+			return out
+		}
+		for i := range out {
+			out[i] = 1 / float64(len(xs))
+		}
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / total
+	}
+	return out
+}
+
+// NormalizeRows returns a copy of the matrix with every row scaled to sum to
+// one (rows that sum to zero become uniform). The input is not modified.
+func NormalizeRows(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = Normalize(row)
+	}
+	return out
+}
+
+// ScaleTo returns xs linearly rescaled so that its maximum equals top. A
+// zero or empty input is returned unchanged (as a copy). This matches the
+// paper's "scaled" presentation (e.g. Figs 6 and 12, where series are
+// normalized for visualization).
+func ScaleTo(xs []float64, top float64) []float64 {
+	out := append([]float64(nil), xs...)
+	if len(out) == 0 {
+		return out
+	}
+	m := Max(out)
+	if m == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = out[i] / m * top
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy (nats) of a distribution given as
+// unnormalized non-negative weights.
+func Entropy(ws []float64) float64 {
+	p := Normalize(ws)
+	h := 0.0
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// GiniImbalance returns a [0,1] load-imbalance score for a set of loads:
+// 0 means perfectly uniform, values near 1 mean one bin holds everything.
+func GiniImbalance(loads []float64) float64 {
+	n := len(loads)
+	if n <= 1 {
+		return 0
+	}
+	sorted := append([]float64(nil), loads...)
+	sort.Float64s(sorted)
+	total := Sum(sorted)
+	if total == 0 {
+		return 0
+	}
+	// Standard Gini coefficient over the sorted loads.
+	var cum float64
+	for i, x := range sorted {
+		cum += float64(i+1) * x
+	}
+	return (2*cum/(float64(n)*total) - float64(n+1)/float64(n))
+}
+
+// Ratio formats a/b defensively, returning 0 when b == 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// FormatPct renders a fraction as a fixed-width percentage, e.g. "42.3%".
+func FormatPct(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}

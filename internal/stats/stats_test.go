@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanSumStd(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 || Sum(xs) != 10 {
+		t.Fatal("Mean/Sum wrong")
+	}
+	if !almostEq(StdDev(xs), math.Sqrt(1.25), 1e-12) {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-slice handling wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("Min/Max wrong")
+	}
+	for _, f := range []func(){func() { Min(nil) }, func() { Max(nil) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 || Percentile(xs, 50) != 3 {
+		t.Fatal("Percentile endpoints wrong")
+	}
+	if !almostEq(Percentile(xs, 25), 2, 1e-12) {
+		t.Fatalf("P25 = %v", Percentile(xs, 25))
+	}
+	if Percentile([]float64{7}, 50) != 7 {
+		t.Fatal("singleton percentile wrong")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalizeProperties(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() * 10
+		}
+		p := Normalize(xs)
+		return almostEq(Sum(p), 1, 1e-9)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-sum becomes uniform.
+	p := Normalize([]float64{0, 0, 0, 0})
+	for _, v := range p {
+		if v != 0.25 {
+			t.Fatal("zero-sum should normalize to uniform")
+		}
+	}
+	if len(Normalize(nil)) != 0 {
+		t.Fatal("empty normalize should be empty")
+	}
+}
+
+func TestNormalizeRowsDoesNotMutate(t *testing.T) {
+	m := [][]float64{{2, 2}, {0, 0}}
+	out := NormalizeRows(m)
+	if m[0][0] != 2 {
+		t.Fatal("input mutated")
+	}
+	if out[0][0] != 0.5 || out[1][0] != 0.5 {
+		t.Fatal("NormalizeRows wrong")
+	}
+}
+
+func TestScaleTo(t *testing.T) {
+	out := ScaleTo([]float64{1, 2, 4}, 1)
+	if out[2] != 1 || out[0] != 0.25 {
+		t.Fatalf("ScaleTo wrong: %v", out)
+	}
+	zero := ScaleTo([]float64{0, 0}, 1)
+	if zero[0] != 0 {
+		t.Fatal("zero input should stay zero")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if Entropy([]float64{1, 0, 0}) != 0 {
+		t.Fatal("deterministic entropy should be 0")
+	}
+	if !almostEq(Entropy([]float64{1, 1, 1, 1}), math.Log(4), 1e-12) {
+		t.Fatal("uniform entropy wrong")
+	}
+}
+
+func TestGiniImbalance(t *testing.T) {
+	if g := GiniImbalance([]float64{1, 1, 1, 1}); !almostEq(g, 0, 1e-12) {
+		t.Fatalf("uniform gini = %v", g)
+	}
+	skew := GiniImbalance([]float64{0, 0, 0, 100})
+	if skew < 0.7 {
+		t.Fatalf("skewed gini too low: %v", skew)
+	}
+	if GiniImbalance([]float64{5}) != 0 || GiniImbalance(nil) != 0 {
+		t.Fatal("degenerate gini should be 0")
+	}
+}
+
+func TestRatioAndFormatPct(t *testing.T) {
+	if Ratio(4, 2) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio wrong")
+	}
+	if FormatPct(0.423) != "42.3%" {
+		t.Fatalf("FormatPct wrong: %s", FormatPct(0.423))
+	}
+}
+
+func TestHeatmapCSVAndRender(t *testing.T) {
+	h := NewHeatmap("test", [][]float64{{0, 1}, {2, 3}})
+	csv := h.CSV()
+	if !strings.Contains(csv, "# test") || !strings.Contains(csv, "0,0.000000,1.000000") {
+		t.Fatalf("CSV malformed:\n%s", csv)
+	}
+	r := h.Render()
+	if !strings.Contains(r, "test") || !strings.Contains(r, "@") {
+		t.Fatalf("Render should shade max cell:\n%s", r)
+	}
+	empty := NewHeatmap("e", nil)
+	if empty.CSV() != "" {
+		t.Fatal("empty CSV should be empty")
+	}
+	_ = empty.Render() // must not panic
+}
+
+func TestDominantColumnFraction(t *testing.T) {
+	// Perfectly concentrated rows: top-1 captures everything.
+	h := NewHeatmap("c", [][]float64{{0, 5, 0}, {9, 0, 0}})
+	if f := h.DominantColumnFraction(1); !almostEq(f, 1, 1e-12) {
+		t.Fatalf("concentrated top-1 = %v", f)
+	}
+	// Uniform rows: top-1 captures 1/3.
+	u := NewHeatmap("u", [][]float64{{1, 1, 1}})
+	if f := u.DominantColumnFraction(1); !almostEq(f, 1.0/3, 1e-12) {
+		t.Fatalf("uniform top-1 = %v", f)
+	}
+	if NewHeatmap("z", nil).DominantColumnFraction(1) != 0 {
+		t.Fatal("empty heatmap fraction should be 0")
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	tb := NewTable("fig", "gpus")
+	a := tb.NewSeries("baseline")
+	b := tb.NewSeries("exflow")
+	a.Add(4, 1.0)
+	a.Add(8, 2.0)
+	b.Add(8, 1.5)
+	if a.Len() != 2 {
+		t.Fatal("Series.Len wrong")
+	}
+	text := tb.Render()
+	if !strings.Contains(text, "fig") || !strings.Contains(text, "baseline") {
+		t.Fatalf("Render missing parts:\n%s", text)
+	}
+	// Missing point renders as "-".
+	if !strings.Contains(text, "-") {
+		t.Fatalf("missing point not rendered:\n%s", text)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "gpus,baseline,exflow") {
+		t.Fatalf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "4,1,") {
+		t.Fatalf("CSV missing-value row wrong:\n%s", csv)
+	}
+}
+
+func TestTableXUnionSorted(t *testing.T) {
+	tb := NewTable("t", "x")
+	s := tb.NewSeries("s")
+	s.Add(5, 1)
+	s.Add(1, 2)
+	s.Add(3, 3)
+	xs := tb.xUnion()
+	if xs[0] != 1 || xs[1] != 3 || xs[2] != 5 {
+		t.Fatalf("xUnion not sorted: %v", xs)
+	}
+}

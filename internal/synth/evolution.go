@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Evolution models how a MoE model's routing behaviour changes over training
+// iterations, reproducing the dynamics in the paper's Figs 11-12:
+//
+//   - At iteration 0 the gate is random and collapsed: a handful of experts
+//     receive almost all tokens (Fig 11's early spike). Because so few
+//     experts are active, the measured affinity is trivially high.
+//   - The GShard load-balancing loss then spreads tokens across experts;
+//     while the active set is still growing, affinity *dips* (the routing is
+//     balanced but not yet specialized) — the oscillation in Fig 12a.
+//   - From ~2k iterations on, experts specialize: routing stays balanced but
+//     transition rows sharpen, so affinity climbs steadily and stabilizes
+//     (Fig 12b).
+//
+// The curves below encode those phases; checkpoints expose both the expert
+// load distribution (Fig 11) and a Kernel snapshot whose measured affinity
+// follows Fig 12.
+type Evolution struct {
+	Seed    uint64
+	Layers  int
+	Experts int
+}
+
+// NewEvolution creates a training-evolution model.
+func NewEvolution(seed uint64, layers, experts int) *Evolution {
+	return &Evolution{Seed: seed, Layers: layers, Experts: experts}
+}
+
+// ActiveExperts returns how many experts receive non-negligible traffic at
+// an iteration: a few at the start, all of them once balancing kicks in.
+func (ev *Evolution) ActiveExperts(iter int) int {
+	// Starts at ~12% of experts (at least 2), saturates around iter 1200.
+	frac := 0.12 + 0.88*sigmoid((float64(iter)-500)/180)
+	n := int(math.Round(frac * float64(ev.Experts)))
+	if n < 2 {
+		n = 2
+	}
+	if n > ev.Experts {
+		n = ev.Experts
+	}
+	return n
+}
+
+// Strength returns the kernel affinity concentration at an iteration,
+// following the dip-then-climb shape described above.
+func (ev *Evolution) Strength(iter int) float64 {
+	t := float64(iter)
+	// Early collapse: high apparent concentration decaying quickly.
+	collapse := 0.95 * math.Exp(-t/250)
+	// Specialization: slow climb toward 0.97 with midpoint ~5k iterations.
+	specialize := 0.97 * sigmoid((t-3000)/2600)
+	// Balanced-but-unspecialized floor.
+	s := 0.30 + collapse*0.65 + specialize*0.68
+	if s > 0.97 {
+		s = 0.97
+	}
+	return s
+}
+
+// KernelAt returns the routing-kernel snapshot at a training iteration. The
+// kernel seed is fixed across iterations (the *model* is the same; only its
+// sharpness and active set evolve), so successive checkpoints are
+// comparable.
+func (ev *Evolution) KernelAt(iter int) *Kernel {
+	return NewKernel(KernelParams{
+		Seed:          rng.Mix64(ev.Seed, 0xE0),
+		Layers:        ev.Layers,
+		Experts:       ev.Experts,
+		Strength:      ev.Strength(iter),
+		ActiveExperts: ev.ActiveExperts(iter),
+	})
+}
+
+// LoadShares returns each expert's share of routed tokens at the last MoE
+// layer for a checkpoint (the quantity plotted in Fig 11), measured by
+// sampling `tokens` token paths through the checkpoint kernel.
+func (ev *Evolution) LoadShares(iter, tokens int) []float64 {
+	k := ev.KernelAt(iter)
+	profile := Pile()
+	counts := make([]float64, ev.Experts)
+	last := ev.Layers - 1
+	for t := 0; t < tokens; t++ {
+		id := rng.Mix64(ev.Seed, 0x70AD, uint64(iter), uint64(t))
+		path := k.Path(id, profile.TokenDomain(id))
+		counts[path[last]]++
+	}
+	total := float64(tokens)
+	for i := range counts {
+		counts[i] /= total
+	}
+	return counts
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

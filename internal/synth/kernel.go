@@ -1,0 +1,176 @@
+// Package synth generates synthetic expert-routing behaviour with
+// controllable inter-layer affinity. It stands in for the pre-trained GPT
+// MoE checkpoints the paper profiles (see DESIGN.md, substitutions): what
+// the ExFlow pipeline consumes from a real model is the joint distribution
+// of per-layer expert choices, and this package produces that distribution
+// as a first-order Markov process over layers whose transition rows have a
+// tunable concentration — reproducing the "few red columns per row"
+// structure of the paper's Fig 2 heatmaps.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Kernel is a generative model of token routing: a token's expert at layer 0
+// is drawn from an initial distribution and the expert at layer j+1 is drawn
+// from a row-stochastic transition matrix indexed by the expert at layer j.
+// Rows mix a spiky (Dirichlet) component with the uniform distribution;
+// Strength in [0,1] sets the mixing weight and therefore the affinity.
+//
+// Tokens belong to domains (see DatasetProfile); a domain tilts the
+// transition rows multiplicatively, modeling topical specialization without
+// destroying the shared backbone — this is what makes affinity learned on
+// one dataset transfer to others (paper Table III).
+type Kernel struct {
+	Seed     uint64
+	Layers   int
+	Experts  int
+	Strength float64
+	Domains  int
+
+	initDist []float64     // layer-0 expert distribution
+	trans    [][][]float64 // [layer][from][to], layer in [0, Layers-2]
+	domPref  [][]float64   // [domain][expert] multiplicative tilt
+}
+
+// KernelParams configures NewKernel.
+type KernelParams struct {
+	Seed    uint64
+	Layers  int
+	Experts int
+	// Strength in [0,1]: 0 gives uniform routing (no affinity), values near
+	// 1 give near-deterministic successor experts. Pre-trained GPT MoE models
+	// measured in the paper correspond to roughly 0.75-0.9.
+	Strength float64
+	// Domains is the number of token domains (default 6).
+	Domains int
+	// SpikyAlpha is the Dirichlet concentration of the spiky row component;
+	// smaller is spikier. Default 0.15.
+	SpikyAlpha float64
+	// ActiveExperts restricts routing to the first ActiveExperts experts
+	// (used by the training-evolution model to reproduce early-training
+	// expert collapse). Zero means all experts are active.
+	ActiveExperts int
+}
+
+// NewKernel builds a deterministic kernel from the parameters.
+func NewKernel(p KernelParams) *Kernel {
+	if p.Layers < 1 || p.Experts < 1 {
+		panic(fmt.Sprintf("synth: invalid kernel shape %dx%d", p.Layers, p.Experts))
+	}
+	if p.Strength < 0 || p.Strength > 1 {
+		panic("synth: Strength must be in [0,1]")
+	}
+	if p.Domains <= 0 {
+		p.Domains = 6
+	}
+	if p.SpikyAlpha <= 0 {
+		p.SpikyAlpha = 0.15
+	}
+	active := p.ActiveExperts
+	if active <= 0 || active > p.Experts {
+		active = p.Experts
+	}
+	k := &Kernel{
+		Seed:     p.Seed,
+		Layers:   p.Layers,
+		Experts:  p.Experts,
+		Strength: p.Strength,
+		Domains:  p.Domains,
+	}
+	r := rng.New(rng.Mix64(p.Seed, 0x5E17))
+
+	uniform := 1.0 / float64(active)
+	k.initDist = make([]float64, p.Experts)
+	spikyInit := r.Dirichlet(active, 0.8)
+	for e := 0; e < active; e++ {
+		k.initDist[e] = 0.5*spikyInit[e] + 0.5*uniform
+	}
+
+	k.trans = make([][][]float64, p.Layers-1)
+	for l := range k.trans {
+		k.trans[l] = make([][]float64, p.Experts)
+		for from := 0; from < p.Experts; from++ {
+			row := make([]float64, p.Experts)
+			spiky := r.Dirichlet(active, p.SpikyAlpha)
+			for to := 0; to < active; to++ {
+				row[to] = p.Strength*spiky[to] + (1-p.Strength)*uniform
+			}
+			k.trans[l][from] = row
+		}
+	}
+
+	k.domPref = make([][]float64, p.Domains)
+	for d := range k.domPref {
+		pref := make([]float64, p.Experts)
+		draw := r.Dirichlet(active, 1.2)
+		for e := 0; e < active; e++ {
+			// Tilt factors in [0.6, 0.6 + 0.8*E*p]; mean 1.4-ish keeps the
+			// tilt mild so the backbone dominates.
+			pref[e] = 0.6 + 0.8*float64(active)*draw[e]
+		}
+		k.domPref[d] = pref
+	}
+	return k
+}
+
+// tilted returns base element-wise multiplied by the domain preference,
+// normalized. base entries for inactive experts are zero and stay zero.
+func (k *Kernel) tilted(base []float64, domain int) []float64 {
+	pref := k.domPref[domain%k.Domains]
+	out := make([]float64, len(base))
+	total := 0.0
+	for i, b := range base {
+		out[i] = b * pref[i]
+		total += out[i]
+	}
+	if total == 0 {
+		return base
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// First samples the layer-0 expert for a token. The draw is a pure function
+// of (kernel seed, tokenID), so repeated calls agree — this is what makes
+// the shared-gating-function invariant hold in the engine: any GPU asking
+// "where does token t go at layer 0" gets the same answer.
+func (k *Kernel) First(tokenID uint64, domain int) int {
+	r := rng.New(rng.Mix64(k.Seed, tokenID, 0))
+	return r.Categorical(k.tilted(k.initDist, domain))
+}
+
+// Next samples the expert at layer given the expert chosen at layer-1.
+// layer must be in [1, Layers). Deterministic in (seed, tokenID, layer,
+// prev, domain).
+func (k *Kernel) Next(tokenID uint64, layer, prev, domain int) int {
+	if layer < 1 || layer >= k.Layers {
+		panic(fmt.Sprintf("synth: Next layer %d out of range [1,%d)", layer, k.Layers))
+	}
+	if prev < 0 || prev >= k.Experts {
+		panic(fmt.Sprintf("synth: invalid prev expert %d", prev))
+	}
+	r := rng.New(rng.Mix64(k.Seed, tokenID, uint64(layer)))
+	return r.Categorical(k.tilted(k.trans[layer-1][prev], domain))
+}
+
+// Path returns the full per-layer expert path of a token.
+func (k *Kernel) Path(tokenID uint64, domain int) []int {
+	path := make([]int, k.Layers)
+	path[0] = k.First(tokenID, domain)
+	for l := 1; l < k.Layers; l++ {
+		path[l] = k.Next(tokenID, l, path[l-1], domain)
+	}
+	return path
+}
+
+// Transition returns the ground-truth row P(.|from) between layer and
+// layer+1 (domain-untilted). Exposed for estimation-convergence tests.
+func (k *Kernel) Transition(layer, from int) []float64 {
+	return k.trans[layer][from]
+}

@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"repro/internal/moe"
+	"repro/internal/rng"
+)
+
+// KernelRouter adapts a Kernel (plus a dataset profile for domain
+// assignment) to the moe.Router interface used by the inference engine. The
+// hidden activation is ignored — routing statistics come from the kernel —
+// but the router is still a deterministic pure function of (layer, tokenID,
+// prev), which is the property the engine's shared-gating invariant needs.
+//
+// TopK of 2 returns a second, distinct expert drawn from the same
+// conditional row (GShard-style top-2).
+type KernelRouter struct {
+	Kernel  *Kernel
+	Profile *DatasetProfile
+	TopK    int
+}
+
+// NewKernelRouter wires a kernel and a dataset profile together.
+func NewKernelRouter(k *Kernel, p *DatasetProfile, topK int) *KernelRouter {
+	if topK != 1 && topK != 2 {
+		panic("synth: TopK must be 1 or 2")
+	}
+	return &KernelRouter{Kernel: k, Profile: p, TopK: topK}
+}
+
+// Experts implements moe.Router.
+func (kr *KernelRouter) Experts() int { return kr.Kernel.Experts }
+
+// Route implements moe.Router.
+func (kr *KernelRouter) Route(layer int, tokenID uint64, prev int, h []float32) []int {
+	domain := kr.Profile.TokenDomain(tokenID)
+	var primary int
+	if layer == 0 || prev < 0 {
+		primary = kr.Kernel.First(tokenID, domain)
+	} else {
+		primary = kr.Kernel.Next(tokenID, layer, prev, domain)
+	}
+	if kr.TopK == 1 {
+		return []int{primary}
+	}
+	secondary := kr.second(layer, tokenID, prev, domain, primary)
+	return []int{primary, secondary}
+}
+
+// second draws a distinct secondary expert from the same conditional row.
+func (kr *KernelRouter) second(layer int, tokenID uint64, prev, domain, primary int) int {
+	var row []float64
+	if layer == 0 || prev < 0 {
+		row = kr.Kernel.tilted(kr.Kernel.initDist, domain)
+	} else {
+		row = kr.Kernel.tilted(kr.Kernel.trans[layer-1][prev], domain)
+	}
+	masked := append([]float64(nil), row...)
+	masked[primary] = 0
+	r := rng.New(rng.Mix64(kr.Kernel.Seed, tokenID, uint64(layer), 0x2ED))
+	total := 0.0
+	for _, v := range masked {
+		total += v
+	}
+	if total == 0 {
+		// Degenerate row (probability mass entirely on primary): fall back
+		// to the next expert index, preserving determinism.
+		return (primary + 1) % kr.Kernel.Experts
+	}
+	return r.Categorical(masked)
+}
+
+// RouteWeighted implements moe.WeightedRouter: mixture weights proportional
+// to the kernel's conditional probabilities of the selected experts.
+func (kr *KernelRouter) RouteWeighted(layer int, tokenID uint64, prev int, h []float32) ([]int, []float64) {
+	experts := kr.Route(layer, tokenID, prev, h)
+	domain := kr.Profile.TokenDomain(tokenID)
+	var row []float64
+	if layer == 0 || prev < 0 {
+		row = kr.Kernel.tilted(kr.Kernel.initDist, domain)
+	} else {
+		row = kr.Kernel.tilted(kr.Kernel.trans[layer-1][prev], domain)
+	}
+	weights := make([]float64, len(experts))
+	total := 0.0
+	for i, e := range experts {
+		weights[i] = row[e]
+		total += row[e]
+	}
+	if total == 0 {
+		for i := range weights {
+			weights[i] = 1 / float64(len(weights))
+		}
+		return experts, weights
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return experts, weights
+}
+
+var _ moe.Router = (*KernelRouter)(nil)
+var _ moe.WeightedRouter = (*KernelRouter)(nil)

@@ -1,0 +1,335 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func testKernel(strength float64) *Kernel {
+	return NewKernel(KernelParams{Seed: 1, Layers: 6, Experts: 16, Strength: strength})
+}
+
+func TestKernelDeterministic(t *testing.T) {
+	k := testKernel(0.8)
+	for tok := uint64(0); tok < 50; tok++ {
+		a := k.Path(tok, 0)
+		b := k.Path(tok, 0)
+		for l := range a {
+			if a[l] != b[l] {
+				t.Fatal("kernel paths not deterministic")
+			}
+		}
+	}
+}
+
+func TestKernelPathInRange(t *testing.T) {
+	k := testKernel(0.8)
+	if err := quick.Check(func(tok uint64, dRaw uint8) bool {
+		path := k.Path(tok, int(dRaw))
+		if len(path) != k.Layers {
+			return false
+		}
+		for _, e := range path {
+			if e < 0 || e >= k.Experts {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitionRowsStochastic(t *testing.T) {
+	k := testKernel(0.8)
+	for l := 0; l < k.Layers-1; l++ {
+		for from := 0; from < k.Experts; from++ {
+			row := k.Transition(l, from)
+			sum := 0.0
+			for _, p := range row {
+				if p < 0 {
+					t.Fatal("negative transition probability")
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("row (%d,%d) sums to %v", l, from, sum)
+			}
+		}
+	}
+}
+
+func TestStrengthControlsConcentration(t *testing.T) {
+	strong := testKernel(0.95)
+	weak := testKernel(0.0)
+	topMass := func(k *Kernel, top int) float64 {
+		rows := make([][]float64, 0, k.Experts)
+		for from := 0; from < k.Experts; from++ {
+			rows = append(rows, k.Transition(0, from))
+		}
+		return stats.NewHeatmap("", rows).DominantColumnFraction(top)
+	}
+	// "For each row only a few columns are red" (Fig 2): the top few
+	// successors capture most of the mass in a strong kernel, while a
+	// zero-strength kernel is uniform (top-1 mass = 1/E).
+	if s := topMass(strong, 3); s < 0.6 {
+		t.Fatalf("strong kernel top-3 mass %v too low", s)
+	}
+	if w := topMass(weak, 1); w > 1.0/16+1e-9 {
+		t.Fatalf("zero-strength kernel should be uniform, top-1 mass %v", w)
+	}
+	if s1, w1 := topMass(strong, 1), topMass(weak, 1); s1 <= 2*w1 {
+		t.Fatalf("strength must sharpen rows: strong top-1 %v vs uniform %v", s1, w1)
+	}
+}
+
+func TestEmpiricalTransitionsMatchKernel(t *testing.T) {
+	// Token samples drawn through the kernel (single domain, to avoid the
+	// domain tilt) must converge to the declared transition rows.
+	k := NewKernel(KernelParams{Seed: 2, Layers: 3, Experts: 8, Strength: 0.7, Domains: 1})
+	const tokens = 60000
+	counts := make([][]float64, k.Experts)
+	for i := range counts {
+		counts[i] = make([]float64, k.Experts)
+	}
+	for tok := uint64(0); tok < tokens; tok++ {
+		p := k.Path(tok, 0)
+		counts[p[0]][p[1]]++
+	}
+	// With a single domain the tilt is constant per row, so compare against
+	// the tilted row.
+	for from := 0; from < k.Experts; from++ {
+		row := k.tilted(k.Transition(0, from), 0)
+		total := 0.0
+		for _, c := range counts[from] {
+			total += c
+		}
+		if total < 500 {
+			continue // too few samples through this expert for a tight check
+		}
+		for to := 0; to < k.Experts; to++ {
+			got := counts[from][to] / total
+			if math.Abs(got-row[to]) > 0.04 {
+				t.Fatalf("P(%d|%d): empirical %v vs kernel %v", to, from, got, row[to])
+			}
+		}
+	}
+}
+
+func TestActiveExpertsRestriction(t *testing.T) {
+	k := NewKernel(KernelParams{Seed: 3, Layers: 4, Experts: 16, Strength: 0.8, ActiveExperts: 3})
+	for tok := uint64(0); tok < 500; tok++ {
+		for _, e := range k.Path(tok, int(tok%4)) {
+			if e >= 3 {
+				t.Fatalf("inactive expert %d routed to", e)
+			}
+		}
+	}
+}
+
+func TestKernelParamValidation(t *testing.T) {
+	bad := []KernelParams{
+		{Layers: 0, Experts: 4, Strength: 0.5},
+		{Layers: 2, Experts: 0, Strength: 0.5},
+		{Layers: 2, Experts: 4, Strength: 1.5},
+		{Layers: 2, Experts: 4, Strength: -0.1},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			NewKernel(p)
+		}()
+	}
+}
+
+func TestNextArgumentValidation(t *testing.T) {
+	k := testKernel(0.5)
+	for _, f := range []func(){
+		func() { k.Next(1, 0, 0, 0) },
+		func() { k.Next(1, k.Layers, 0, 0) },
+		func() { k.Next(1, 1, -1, 0) },
+		func() { k.Next(1, 1, k.Experts, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDatasetProfilesValid(t *testing.T) {
+	for _, d := range AllDatasets() {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if len(d.Mix) != standardDomains {
+			t.Fatalf("%s: wrong domain count", d.Name)
+		}
+	}
+}
+
+func TestDatasetValidateRejectsBad(t *testing.T) {
+	bad := []*DatasetProfile{
+		{Name: "empty"},
+		{Name: "neg", Mix: []float64{0.5, -0.1}},
+		{Name: "zero", Mix: []float64{0, 0}},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Fatalf("%s should be invalid", d.Name)
+		}
+	}
+}
+
+func TestTokenDomainFollowsMix(t *testing.T) {
+	d := Yelp()
+	counts := make([]float64, len(d.Mix))
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		counts[d.TokenDomain(i)]++
+	}
+	for dom, m := range d.Mix {
+		got := counts[dom] / n
+		if math.Abs(got-m) > 0.01 {
+			t.Fatalf("domain %d frequency %v, want %v", dom, got, m)
+		}
+	}
+}
+
+func TestTokenIDsDisjointAcrossDatasets(t *testing.T) {
+	pile, c4 := Pile(), C4()
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		seen[pile.TokenID(i)] = true
+	}
+	collisions := 0
+	for i := uint64(0); i < 1000; i++ {
+		if seen[c4.TokenID(i)] {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("%d token-id collisions across datasets", collisions)
+	}
+}
+
+func TestKernelRouterMatchesKernel(t *testing.T) {
+	k := testKernel(0.8)
+	p := Pile()
+	kr := NewKernelRouter(k, p, 1)
+	for tok := uint64(0); tok < 100; tok++ {
+		dom := p.TokenDomain(tok)
+		want := k.First(tok, dom)
+		got := kr.Route(0, tok, -1, nil)
+		if len(got) != 1 || got[0] != want {
+			t.Fatalf("layer-0 route mismatch: %v vs %d", got, want)
+		}
+		next := kr.Route(1, tok, want, nil)
+		if next[0] != k.Next(tok, 1, want, dom) {
+			t.Fatal("layer-1 route mismatch")
+		}
+	}
+}
+
+func TestKernelRouterTop2Distinct(t *testing.T) {
+	kr := NewKernelRouter(testKernel(0.8), Pile(), 2)
+	for tok := uint64(0); tok < 200; tok++ {
+		es := kr.Route(2, tok, int(tok)%16, nil)
+		if len(es) != 2 {
+			t.Fatalf("want 2 experts, got %v", es)
+		}
+		if es[0] == es[1] {
+			t.Fatalf("top-2 experts must differ: %v", es)
+		}
+	}
+}
+
+func TestKernelRouterBadTopKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKernelRouter(testKernel(0.5), Pile(), 3)
+}
+
+func TestEvolutionActiveExpertsMonotone(t *testing.T) {
+	ev := NewEvolution(1, 12, 32)
+	prev := 0
+	for _, iter := range []int{0, 100, 300, 600, 1000, 2000, 5000} {
+		n := ev.ActiveExperts(iter)
+		if n < prev {
+			t.Fatalf("active experts decreased at iter %d", iter)
+		}
+		if n < 2 || n > 32 {
+			t.Fatalf("active experts %d out of range", n)
+		}
+		prev = n
+	}
+	if ev.ActiveExperts(0) >= 16 {
+		t.Fatalf("training should start collapsed, got %d active", ev.ActiveExperts(0))
+	}
+	if ev.ActiveExperts(5000) != 32 {
+		t.Fatal("training should end with all experts active")
+	}
+}
+
+func TestEvolutionLoadSharesShape(t *testing.T) {
+	ev := NewEvolution(1, 6, 16)
+	early := ev.LoadShares(0, 4000)
+	late := ev.LoadShares(18000, 4000)
+	sum := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if math.Abs(sum(early)-1) > 1e-9 || math.Abs(sum(late)-1) > 1e-9 {
+		t.Fatal("shares must sum to 1")
+	}
+	// Early training is skewed, late training balanced (Fig 11).
+	if stats.GiniImbalance(early) <= stats.GiniImbalance(late) {
+		t.Fatalf("imbalance should fall during training: early=%v late=%v",
+			stats.GiniImbalance(early), stats.GiniImbalance(late))
+	}
+	if stats.Max(late) > 3.0/16 {
+		t.Fatalf("late-training load should be near-balanced, max share %v", stats.Max(late))
+	}
+}
+
+func TestEvolutionStrengthShape(t *testing.T) {
+	ev := NewEvolution(1, 6, 16)
+	s0 := ev.Strength(0)
+	sDip := ev.Strength(800)
+	sLate := ev.Strength(18000)
+	if !(s0 > sDip) {
+		t.Fatalf("strength should dip after collapse: s0=%v s800=%v", s0, sDip)
+	}
+	if !(sLate > sDip) {
+		t.Fatalf("strength should recover with specialization: s800=%v s18000=%v", sDip, sLate)
+	}
+	if sLate < 0.9 || sLate > 1 {
+		t.Fatalf("late strength %v implausible", sLate)
+	}
+	// Steady climb in the 2k-18k window (Fig 12b).
+	prev := 0.0
+	for iter := 2000; iter <= 18000; iter += 1000 {
+		s := ev.Strength(iter)
+		if s < prev-1e-9 {
+			t.Fatalf("strength not monotone in specialization phase at %d", iter)
+		}
+		prev = s
+	}
+}

@@ -1,0 +1,210 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestGELUKnownValues(t *testing.T) {
+	v := []float32{0, 1, -1, 3}
+	GELU(v)
+	// Reference values of the tanh-approximated GELU.
+	want := []float32{0, 0.8412, -0.1588, 2.9964}
+	for i := range v {
+		if math.Abs(float64(v[i]-want[i])) > 1e-3 {
+			t.Fatalf("GELU(%d): got %v want %v", i, v[i], want[i])
+		}
+	}
+}
+
+func TestGELUMonotoneForPositive(t *testing.T) {
+	prev := float32(-1)
+	for x := float32(0); x < 5; x += 0.1 {
+		v := []float32{x}
+		GELU(v)
+		if v[0] < prev {
+			t.Fatalf("GELU not monotone at %v", x)
+		}
+		prev = v[0]
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(40)
+		v := make([]float32, n)
+		for i := range v {
+			v[i] = float32(r.NormFloat64() * 5)
+		}
+		orig := append([]float32(nil), v...)
+		Softmax(v)
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 || x > 1 {
+				return false
+			}
+			sum += float64(x)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			return false
+		}
+		// Softmax preserves order.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if orig[i] > orig[j] && v[i] < v[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	v := []float32{1000, 1001, 1002}
+	Softmax(v)
+	for _, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			t.Fatal("softmax overflowed")
+		}
+	}
+	if !(v[2] > v[1] && v[1] > v[0]) {
+		t.Fatal("softmax order wrong")
+	}
+}
+
+func TestSoftmaxEmptyNoop(t *testing.T) {
+	Softmax(nil) // must not panic
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}, {0, 0, 0}})
+	SoftmaxRows(m)
+	for i := 0; i < 2; i++ {
+		sum := float32(0)
+		for _, v := range m.Row(i) {
+			sum += v
+		}
+		if math.Abs(float64(sum-1)) > 1e-5 {
+			t.Fatalf("row %d does not sum to 1", i)
+		}
+	}
+	if m.At(1, 0) != m.At(1, 1) {
+		t.Fatal("uniform row should stay uniform")
+	}
+}
+
+func TestLayerNormStats(t *testing.T) {
+	r := rng.New(9)
+	v := make([]float32, 128)
+	for i := range v {
+		v[i] = float32(r.NormFloat64()*3 + 7)
+	}
+	LayerNorm(v, nil, nil)
+	var mean, variance float64
+	for _, x := range v {
+		mean += float64(x)
+	}
+	mean /= float64(len(v))
+	for _, x := range v {
+		d := float64(x) - mean
+		variance += d * d
+	}
+	variance /= float64(len(v))
+	if math.Abs(mean) > 1e-4 {
+		t.Fatalf("post-norm mean %v", mean)
+	}
+	if math.Abs(variance-1) > 1e-2 {
+		t.Fatalf("post-norm variance %v", variance)
+	}
+}
+
+func TestLayerNormGainBias(t *testing.T) {
+	v := []float32{1, 2, 3, 4}
+	gain := []float32{2, 2, 2, 2}
+	bias := []float32{1, 1, 1, 1}
+	LayerNorm(v, gain, bias)
+	var mean float64
+	for _, x := range v {
+		mean += float64(x)
+	}
+	mean /= 4
+	if math.Abs(mean-1) > 1e-4 {
+		t.Fatalf("bias not applied, mean %v", mean)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float32{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax wrong")
+	}
+	if ArgMax([]float32{7}) != 0 {
+		t.Fatal("ArgMax singleton wrong")
+	}
+	// Ties go to the first occurrence.
+	if ArgMax([]float32{2, 9, 9}) != 1 {
+		t.Fatal("ArgMax tie-break wrong")
+	}
+}
+
+func TestArgMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ArgMax(nil)
+}
+
+func TestTopK(t *testing.T) {
+	got := TopK([]float32{5, 9, 1, 7}, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("TopK wrong: %v", got)
+	}
+	all := TopK([]float32{3, 1, 2}, 3)
+	if all[0] != 0 || all[1] != 2 || all[2] != 1 {
+		t.Fatalf("TopK full-order wrong: %v", all)
+	}
+}
+
+func TestTopKInvalidPanics(t *testing.T) {
+	for _, k := range []int{0, 4, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for k=%d", k)
+				}
+			}()
+			TopK([]float32{1, 2, 3}, k)
+		}()
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := rng.New(1)
+	a := randomMatrix(r, 128, 128)
+	c := randomMatrix(r, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(a, c)
+	}
+}
+
+func BenchmarkVecMat1024x4096(b *testing.B) {
+	r := rng.New(1)
+	a := randomMatrix(r, 1024, 4096)
+	x := make([]float32, 1024)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = VecMat(x, a)
+	}
+}

@@ -1,0 +1,202 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomMatrix(r *rng.RNG, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(r.NormFloat64())
+	}
+	return m
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("matrix not zeroed")
+		}
+	}
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("At/Set mismatch")
+	}
+	row := m.Row(1)
+	row[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("Row must be a mutable view")
+	}
+}
+
+func TestFromRowsAndClone(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	if !m.Equal(FromRows([][]float32{{1, 2}, {3, 4}}), 0) {
+		t.Fatal("FromRows content wrong")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	got := MatMul(a, b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-6) {
+		t.Fatalf("got %v want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	a := randomMatrix(r, 7, 7)
+	id := NewMatrix(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(i, i, 1)
+	}
+	if !MatMul(a, id).Equal(a, 1e-6) {
+		t.Fatal("A*I != A")
+	}
+	if !MatMul(id, a).Equal(a, 1e-6) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// Large enough to trip the parallel path.
+	r := rng.New(2)
+	a := randomMatrix(r, 120, 90)
+	b := randomMatrix(r, 90, 110)
+	got := MatMul(a, b)
+	want := NewMatrix(120, 110)
+	matMulSerialInto(want, a, b, 0, 120)
+	if !got.Equal(want, 1e-4) {
+		t.Fatal("parallel result differs from serial")
+	}
+}
+
+func TestMatMulAssociativityWithVec(t *testing.T) {
+	// (A*B)*x == A*(B*x) within float tolerance.
+	r := rng.New(3)
+	a := randomMatrix(r, 8, 6)
+	b := randomMatrix(r, 6, 5)
+	x := make([]float32, 5)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	left := MatVec(MatMul(a, b), x)
+	right := MatVec(a, MatVec(b, x))
+	for i := range left {
+		if math.Abs(float64(left[i]-right[i])) > 1e-3 {
+			t.Fatalf("associativity violated at %d: %v vs %v", i, left[i], right[i])
+		}
+	}
+}
+
+func TestVecMatMatchesMatVecTranspose(t *testing.T) {
+	r := rng.New(4)
+	a := randomMatrix(r, 9, 5)
+	x := make([]float32, 9)
+	for i := range x {
+		x[i] = float32(r.NormFloat64())
+	}
+	got := VecMat(x, a)
+	want := MatVec(a.Transpose(), x)
+	for i := range got {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("VecMat mismatch at %d", i)
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		m := randomMatrix(r, 1+r.Intn(10), 1+r.Intn(10))
+		return m.Transpose().Transpose().Equal(m, 0)
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddBiasAndAddVec(t *testing.T) {
+	m := FromRows([][]float32{{1, 1}, {2, 2}})
+	m.AddBias([]float32{10, 20})
+	want := FromRows([][]float32{{11, 21}, {12, 22}})
+	if !m.Equal(want, 0) {
+		t.Fatalf("AddBias wrong: %v", m.Data)
+	}
+	a := []float32{1, 2}
+	AddVec(a, []float32{3, 4})
+	if a[0] != 4 || a[1] != 6 {
+		t.Fatal("AddVec wrong")
+	}
+}
+
+func TestAddInto(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{3, 4}})
+	dst := NewMatrix(1, 2)
+	AddInto(dst, a, b)
+	if dst.At(0, 0) != 4 || dst.At(0, 1) != 6 {
+		t.Fatal("AddInto wrong")
+	}
+}
+
+func TestDotScaleNorm(t *testing.T) {
+	if Dot([]float32{1, 2, 3}, []float32{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	v := []float32{3, 4}
+	Scale(v, 2)
+	if v[0] != 6 || v[1] != 8 {
+		t.Fatal("Scale wrong")
+	}
+	if math.Abs(L2Norm([]float32{3, 4})-5) > 1e-9 {
+		t.Fatal("L2Norm wrong")
+	}
+}
+
+func TestFill(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Fill(3)
+	for _, v := range m.Data {
+		if v != 3 {
+			t.Fatal("Fill wrong")
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package topo
+
+// Wilkes3 returns a topology modeled after the cluster the paper evaluates
+// on: nodes of 4 NVIDIA A100-SXM4-80GB GPUs connected by NVLink, with
+// dual-rail Mellanox HDR200 InfiniBand between nodes.
+//
+// Numbers are effective point-to-point figures, not peak marketing numbers:
+//   - NVLink (A100, NVLink3): ~300 GB/s effective unidirectional per pair,
+//     ~2 microsecond launch+copy latency.
+//   - HDR200 dual-rail: 2 x 200 Gb/s = ~50 GB/s, ~5 microsecond latency
+//     (RDMA small-message latency is ~1-2 us; 5 us accounts for GPUDirect
+//     staging overhead at the message sizes MoE inference produces).
+//   - Local HBM2e copy: ~1.5 TB/s, negligible latency.
+//
+// The paper's qualitative claims depend only on the ordering
+// LocalCopy >> NVLink >> IB, which these figures preserve.
+func Wilkes3(nodes int) *Topology {
+	return &Topology{
+		Nodes:       nodes,
+		GPUsPerNode: 4,
+		IntraNode:   LinkCost{Latency: 2e-6, Bandwidth: 300e9},
+		InterNode:   LinkCost{Latency: 5e-6, Bandwidth: 50e9},
+		LocalCopy:   LinkCost{Latency: 1e-7, Bandwidth: 1500e9},
+	}
+}
+
+// SingleNode returns a one-node topology with the given GPU count, NVLink
+// only. Used for the paper's 4- and 8-GPU single-node configurations (the
+// 8-GPU case models a DGX-style box).
+func SingleNode(gpus int) *Topology {
+	return &Topology{
+		Nodes:       1,
+		GPUsPerNode: gpus,
+		IntraNode:   LinkCost{Latency: 2e-6, Bandwidth: 300e9},
+		InterNode:   LinkCost{Latency: 5e-6, Bandwidth: 50e9},
+		LocalCopy:   LinkCost{Latency: 1e-7, Bandwidth: 1500e9},
+	}
+}
+
+// ForGPUs returns the topology the paper uses for a given total GPU count:
+// a single node when the count fits in one 4-GPU (or 8-GPU) box, otherwise
+// ceil(gpus/4) Wilkes3 nodes. It panics if gpus is not a positive multiple
+// that fits the 4-GPU node geometry (except 1, 2 and 8, which the paper also
+// uses as single-box runs).
+func ForGPUs(gpus int) *Topology {
+	switch {
+	case gpus <= 0:
+		panic("topo: non-positive gpu count")
+	case gpus <= 4:
+		return SingleNode(gpus)
+	case gpus == 8:
+		// The paper's 8-GPU expert-parallel runs use 2 Wilkes3 nodes.
+		return Wilkes3(2)
+	default:
+		if gpus%4 != 0 {
+			panic("topo: gpu count must be a multiple of 4 beyond one node")
+		}
+		return Wilkes3(gpus / 4)
+	}
+}

@@ -1,0 +1,168 @@
+// Package topo models the hierarchical hardware topology of a GPU cluster:
+// nodes connected by an inter-node fabric (e.g. InfiniBand) and GPUs inside
+// each node connected by a fast intra-node interconnect (e.g. NVLink).
+//
+// The paper's entire optimization revolves around which of three tiers a
+// token hop traverses — same GPU (free), same node (NVLink), or cross node
+// (IB) — so this package provides both the rank<->(node, local GPU) geometry
+// and an alpha-beta (latency + bytes/bandwidth) cost model for each tier.
+package topo
+
+import "fmt"
+
+// HopClass classifies where a point-to-point transfer lands relative to the
+// sending GPU.
+type HopClass int
+
+const (
+	// SameGPU means source and destination rank are identical; no transfer.
+	SameGPU HopClass = iota
+	// SameNode means the transfer rides the intra-node interconnect.
+	SameNode
+	// CrossNode means the transfer crosses the inter-node fabric.
+	CrossNode
+)
+
+// String returns a human-readable tier name.
+func (h HopClass) String() string {
+	switch h {
+	case SameGPU:
+		return "same-gpu"
+	case SameNode:
+		return "same-node"
+	case CrossNode:
+		return "cross-node"
+	default:
+		return fmt.Sprintf("HopClass(%d)", int(h))
+	}
+}
+
+// LinkCost is an alpha-beta cost model: transferring n bytes over the link
+// takes Latency + n/Bandwidth seconds.
+type LinkCost struct {
+	// Latency is the fixed per-message cost in seconds.
+	Latency float64
+	// Bandwidth is in bytes per second.
+	Bandwidth float64
+}
+
+// Time returns the modeled transfer time in seconds for n bytes.
+func (l LinkCost) Time(n int) float64 {
+	if n < 0 {
+		panic("topo: negative byte count")
+	}
+	if n == 0 {
+		return 0
+	}
+	return l.Latency + float64(n)/l.Bandwidth
+}
+
+// Topology describes a homogeneous cluster of Nodes nodes, each holding
+// GPUsPerNode GPUs. Global ranks are assigned node-major: rank = node *
+// GPUsPerNode + localGPU, matching the usual MPI + CUDA_VISIBLE_DEVICES
+// launch convention.
+type Topology struct {
+	Nodes       int
+	GPUsPerNode int
+	// IntraNode is the GPU-to-GPU link inside a node (NVLink class).
+	IntraNode LinkCost
+	// InterNode is the GPU-to-GPU path across nodes (IB class).
+	InterNode LinkCost
+	// LocalCopy is the cost of moving data within one GPU's memory. The
+	// paper treats same-GPU routing as free relative to the network; a small
+	// non-zero bandwidth keeps the simulator's time strictly monotone in
+	// bytes moved.
+	LocalCopy LinkCost
+}
+
+// Validate reports an error if the topology is malformed.
+func (t *Topology) Validate() error {
+	if t.Nodes <= 0 || t.GPUsPerNode <= 0 {
+		return fmt.Errorf("topo: need positive nodes (%d) and gpus/node (%d)", t.Nodes, t.GPUsPerNode)
+	}
+	if t.IntraNode.Bandwidth <= 0 || t.InterNode.Bandwidth <= 0 || t.LocalCopy.Bandwidth <= 0 {
+		return fmt.Errorf("topo: bandwidths must be positive")
+	}
+	if t.IntraNode.Latency < 0 || t.InterNode.Latency < 0 || t.LocalCopy.Latency < 0 {
+		return fmt.Errorf("topo: latencies must be non-negative")
+	}
+	return nil
+}
+
+// TotalGPUs returns the number of global ranks.
+func (t *Topology) TotalGPUs() int { return t.Nodes * t.GPUsPerNode }
+
+// NodeOf returns the node index that owns global rank r.
+func (t *Topology) NodeOf(r int) int {
+	t.checkRank(r)
+	return r / t.GPUsPerNode
+}
+
+// LocalOf returns the GPU index of rank r within its node.
+func (t *Topology) LocalOf(r int) int {
+	t.checkRank(r)
+	return r % t.GPUsPerNode
+}
+
+// Rank returns the global rank for (node, local).
+func (t *Topology) Rank(node, local int) int {
+	if node < 0 || node >= t.Nodes || local < 0 || local >= t.GPUsPerNode {
+		panic(fmt.Sprintf("topo: invalid (node=%d, local=%d)", node, local))
+	}
+	return node*t.GPUsPerNode + local
+}
+
+func (t *Topology) checkRank(r int) {
+	if r < 0 || r >= t.TotalGPUs() {
+		panic(fmt.Sprintf("topo: rank %d out of range [0,%d)", r, t.TotalGPUs()))
+	}
+}
+
+// Classify returns the hop tier between two ranks.
+func (t *Topology) Classify(src, dst int) HopClass {
+	t.checkRank(src)
+	t.checkRank(dst)
+	switch {
+	case src == dst:
+		return SameGPU
+	case src/t.GPUsPerNode == dst/t.GPUsPerNode:
+		return SameNode
+	default:
+		return CrossNode
+	}
+}
+
+// Link returns the cost model for transfers between two ranks.
+func (t *Topology) Link(src, dst int) LinkCost {
+	switch t.Classify(src, dst) {
+	case SameGPU:
+		return t.LocalCopy
+	case SameNode:
+		return t.IntraNode
+	default:
+		return t.InterNode
+	}
+}
+
+// TransferTime returns the modeled seconds to move n bytes from src to dst.
+func (t *Topology) TransferTime(src, dst, n int) float64 {
+	return t.Link(src, dst).Time(n)
+}
+
+// RanksOnNode returns the global ranks hosted by the given node.
+func (t *Topology) RanksOnNode(node int) []int {
+	if node < 0 || node >= t.Nodes {
+		panic(fmt.Sprintf("topo: node %d out of range", node))
+	}
+	rs := make([]int, t.GPUsPerNode)
+	for i := range rs {
+		rs[i] = t.Rank(node, i)
+	}
+	return rs
+}
+
+// String summarizes the topology.
+func (t *Topology) String() string {
+	return fmt.Sprintf("topology{%d nodes x %d gpus, nvlink %.0f GB/s, ib %.0f GB/s}",
+		t.Nodes, t.GPUsPerNode, t.IntraNode.Bandwidth/1e9, t.InterNode.Bandwidth/1e9)
+}

@@ -1,0 +1,189 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testTopo() *Topology { return Wilkes3(4) }
+
+func TestValidatePresets(t *testing.T) {
+	for _, tp := range []*Topology{Wilkes3(1), Wilkes3(16), SingleNode(4), SingleNode(8), ForGPUs(1), ForGPUs(64)} {
+		if err := tp.Validate(); err != nil {
+			t.Fatalf("preset invalid: %v", err)
+		}
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	bad := []*Topology{
+		{Nodes: 0, GPUsPerNode: 4, IntraNode: LinkCost{0, 1}, InterNode: LinkCost{0, 1}, LocalCopy: LinkCost{0, 1}},
+		{Nodes: 1, GPUsPerNode: 0, IntraNode: LinkCost{0, 1}, InterNode: LinkCost{0, 1}, LocalCopy: LinkCost{0, 1}},
+		{Nodes: 1, GPUsPerNode: 1, IntraNode: LinkCost{0, 0}, InterNode: LinkCost{0, 1}, LocalCopy: LinkCost{0, 1}},
+		{Nodes: 1, GPUsPerNode: 1, IntraNode: LinkCost{-1, 1}, InterNode: LinkCost{0, 1}, LocalCopy: LinkCost{0, 1}},
+	}
+	for i, tp := range bad {
+		if err := tp.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRankGeometryRoundTrip(t *testing.T) {
+	tp := testTopo()
+	if err := quick.Check(func(raw uint16) bool {
+		r := int(raw) % tp.TotalGPUs()
+		return tp.Rank(tp.NodeOf(r), tp.LocalOf(r)) == r
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tp := testTopo() // 4 nodes x 4 gpus
+	cases := []struct {
+		src, dst int
+		want     HopClass
+	}{
+		{0, 0, SameGPU},
+		{0, 1, SameNode},
+		{0, 3, SameNode},
+		{0, 4, CrossNode},
+		{5, 6, SameNode},
+		{5, 9, CrossNode},
+		{15, 15, SameGPU},
+		{12, 15, SameNode},
+		{3, 12, CrossNode},
+	}
+	for _, c := range cases {
+		if got := tp.Classify(c.src, c.dst); got != c.want {
+			t.Fatalf("Classify(%d,%d) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestClassifySymmetric(t *testing.T) {
+	tp := testTopo()
+	for src := 0; src < tp.TotalGPUs(); src++ {
+		for dst := 0; dst < tp.TotalGPUs(); dst++ {
+			if tp.Classify(src, dst) != tp.Classify(dst, src) {
+				t.Fatalf("asymmetric classification %d<->%d", src, dst)
+			}
+		}
+	}
+}
+
+func TestLinkTierOrdering(t *testing.T) {
+	tp := testTopo()
+	const n = 1 << 20 // 1 MiB
+	local := tp.TransferTime(0, 0, n)
+	intra := tp.TransferTime(0, 1, n)
+	inter := tp.TransferTime(0, 4, n)
+	if !(local < intra && intra < inter) {
+		t.Fatalf("tier ordering broken: local=%v intra=%v inter=%v", local, intra, inter)
+	}
+}
+
+func TestTransferTimeMonotoneInBytes(t *testing.T) {
+	tp := testTopo()
+	if err := quick.Check(func(aRaw, bRaw uint32) bool {
+		a, b := int(aRaw%1e6), int(bRaw%1e6)
+		if a > b {
+			a, b = b, a
+		}
+		return tp.TransferTime(0, 4, a) <= tp.TransferTime(0, 4, b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroBytesZeroTime(t *testing.T) {
+	tp := testTopo()
+	if tp.TransferTime(0, 4, 0) != 0 {
+		t.Fatal("zero-byte transfer should be free")
+	}
+}
+
+func TestNegativeBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testTopo().TransferTime(0, 1, -1)
+}
+
+func TestRanksOnNode(t *testing.T) {
+	tp := testTopo()
+	rs := tp.RanksOnNode(2)
+	want := []int{8, 9, 10, 11}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Fatalf("RanksOnNode(2) = %v", rs)
+		}
+	}
+}
+
+func TestRankOutOfRangePanics(t *testing.T) {
+	tp := testTopo()
+	for _, f := range []func(){
+		func() { tp.NodeOf(-1) },
+		func() { tp.NodeOf(16) },
+		func() { tp.Classify(0, 16) },
+		func() { tp.RanksOnNode(4) },
+		func() { tp.Rank(0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestForGPUsGeometry(t *testing.T) {
+	cases := []struct {
+		gpus, nodes, perNode int
+	}{
+		{1, 1, 1}, {2, 1, 2}, {4, 1, 4}, {8, 2, 4}, {16, 4, 4}, {32, 8, 4}, {64, 16, 4},
+	}
+	for _, c := range cases {
+		tp := ForGPUs(c.gpus)
+		if tp.Nodes != c.nodes || tp.GPUsPerNode != c.perNode {
+			t.Fatalf("ForGPUs(%d) = %dx%d, want %dx%d", c.gpus, tp.Nodes, tp.GPUsPerNode, c.nodes, c.perNode)
+		}
+		if tp.TotalGPUs() != c.gpus {
+			t.Fatalf("ForGPUs(%d) total %d", c.gpus, tp.TotalGPUs())
+		}
+	}
+}
+
+func TestForGPUsRejectsBadCounts(t *testing.T) {
+	for _, g := range []int{0, -4, 6, 13} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for %d", g)
+				}
+			}()
+			ForGPUs(g)
+		}()
+	}
+}
+
+func TestLinkCostTime(t *testing.T) {
+	l := LinkCost{Latency: 1e-6, Bandwidth: 1e9}
+	if got := l.Time(1000); math.Abs(got-2e-6) > 1e-12 {
+		t.Fatalf("Time(1000) = %v, want 2e-6", got)
+	}
+}
+
+func TestHopClassString(t *testing.T) {
+	if SameGPU.String() != "same-gpu" || SameNode.String() != "same-node" || CrossNode.String() != "cross-node" {
+		t.Fatal("HopClass strings wrong")
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic   "EXFTRC01" (8 bytes)
+//	layers  uint32 LE
+//	experts uint32 LE
+//	tokens  uint32 LE
+//	paths   tokens * layers * uint16 LE, token-major
+//
+// The format is deliberately trivial: traces are large (millions of uint16s)
+// and a fixed-layout codec both encodes fast and round-trips exactly.
+
+var magic = [8]byte{'E', 'X', 'F', 'T', 'R', 'C', '0', '1'}
+
+// Encode writes the trace to w.
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(t.Layers), uint32(t.Experts), uint32(t.Tokens())}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 2*t.Layers)
+	for _, path := range t.Paths {
+		for j, e := range path {
+			binary.LittleEndian.PutUint16(buf[2*j:], e)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace previously written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	var layers, experts, tokens uint32
+	for _, p := range []*uint32{&layers, &experts, &tokens} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if layers == 0 || experts == 0 || experts > 1<<16 {
+		return nil, fmt.Errorf("trace: corrupt header (%d layers, %d experts)", layers, experts)
+	}
+	t := New(int(layers), int(experts))
+	buf := make([]byte, 2*layers)
+	for k := uint32(0); k < tokens; k++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("trace: reading path %d: %w", k, err)
+		}
+		row := make([]uint16, layers)
+		for j := range row {
+			e := binary.LittleEndian.Uint16(buf[2*j:])
+			if int(e) >= int(experts) {
+				return nil, fmt.Errorf("trace: corrupt path %d: expert %d out of range", k, e)
+			}
+			row[j] = e
+		}
+		t.Paths = append(t.Paths, row)
+	}
+	return t, nil
+}

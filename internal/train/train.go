@@ -1,0 +1,320 @@
+// Package train implements a miniature MoE gate-training loop that shows
+// *how* inter-layer expert affinity arises — the mechanism behind the
+// paper's Section V-F study (Figs 11-12) — rather than assuming it.
+//
+// Setup: a teacher routing kernel (synth.Kernel) defines which expert each
+// token should use at each layer. The student is a stack of learned gates
+// (one DxE matrix per layer, exactly the gating of a real MoE). The crucial
+// modeling choice is the hidden-state dynamics: applying expert e adds that
+// expert's signature vector to the token's hidden state. The hidden state
+// therefore *encodes the previous expert choice*, and a gate trained with
+// cross-entropy against the teacher learns precisely the conditional
+// structure P(E_{j+1} | E_j) — which is what ExFlow later exploits.
+//
+// Training uses the GShard auxiliary load-balancing loss
+// (alpha * E * sum_e f_e * P_e), reproducing the paper's observation that
+// routing starts collapsed onto a few experts and balances over the first
+// ~1-2k iterations while affinity dips, then re-sharpens as the gates
+// specialize.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/moe"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the trainer.
+type Config struct {
+	Layers  int
+	Experts int
+	// Dim is the hidden width of the student gates.
+	Dim int
+	// BatchSize is tokens per training step.
+	BatchSize int
+	// LR is the SGD learning rate.
+	LR float64
+	// AuxWeight is the GShard balancing loss coefficient (paper-standard
+	// 1e-2 scale).
+	AuxWeight float64
+	// TeacherStrength is the affinity concentration of the teacher kernel.
+	TeacherStrength float64
+	Seed            uint64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.Layers == 0 {
+		c.Layers = 6
+	}
+	if c.Experts == 0 {
+		c.Experts = 16
+	}
+	if c.Dim == 0 {
+		c.Dim = 32
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.5
+	}
+	if c.AuxWeight == 0 {
+		c.AuxWeight = 0.01
+	}
+	if c.TeacherStrength == 0 {
+		c.TeacherStrength = 0.9
+	}
+	return c
+}
+
+// Trainer holds the student gates and training state.
+type Trainer struct {
+	Cfg     Config
+	Teacher *synth.Kernel
+
+	gates      []*tensor.Matrix // [layer] Dim x Experts
+	signatures []*tensor.Matrix // [layer] Experts x Dim (expert signatures)
+	domainEmb  *tensor.Matrix   // Domains x Dim
+	profile    *synth.DatasetProfile
+	rng        *rng.RNG
+	step       int
+}
+
+// New builds a trainer with randomly initialized gates.
+func New(cfg Config) *Trainer {
+	cfg = cfg.WithDefaults()
+	t := &Trainer{
+		Cfg: cfg,
+		Teacher: synth.NewKernel(synth.KernelParams{
+			Seed: rng.Mix64(cfg.Seed, 0x7EAC), Layers: cfg.Layers,
+			Experts: cfg.Experts, Strength: cfg.TeacherStrength,
+		}),
+		profile: synth.Pile(),
+		rng:     rng.New(rng.Mix64(cfg.Seed, 0x7124)),
+	}
+	init := rng.New(rng.Mix64(cfg.Seed, 0x6A7E))
+	t.gates = make([]*tensor.Matrix, cfg.Layers)
+	t.signatures = make([]*tensor.Matrix, cfg.Layers)
+	for l := 0; l < cfg.Layers; l++ {
+		g := tensor.NewMatrix(cfg.Dim, cfg.Experts)
+		for i := range g.Data {
+			// Deliberately non-tiny init: a random gate over structured
+			// inputs is confidently wrong, which produces the early expert
+			// collapse of Fig 11.
+			g.Data[i] = float32(init.NormFloat64() * 0.8)
+		}
+		t.gates[l] = g
+		s := tensor.NewMatrix(cfg.Experts, cfg.Dim)
+		for i := range s.Data {
+			s.Data[i] = float32(init.NormFloat64())
+		}
+		t.signatures[l] = s
+	}
+	t.domainEmb = tensor.NewMatrix(len(t.profile.Mix), cfg.Dim)
+	for i := range t.domainEmb.Data {
+		t.domainEmb.Data[i] = float32(init.NormFloat64())
+	}
+	return t
+}
+
+// Step reports the number of completed training steps.
+func (t *Trainer) Step() int { return t.step }
+
+// tokenInput builds the layer-0 hidden state of a token: its domain
+// embedding plus token-specific noise.
+func (t *Trainer) tokenInput(id uint64) []float32 {
+	domain := t.profile.TokenDomain(id)
+	h := append([]float32(nil), t.domainEmb.Row(domain)...)
+	noise := rng.New(rng.Mix64(t.Cfg.Seed, id, 0x401))
+	for i := range h {
+		h[i] += float32(noise.NormFloat64() * 0.3)
+	}
+	return h
+}
+
+// advanceHidden applies expert e's signature to the hidden state — the
+// mechanism that makes the next layer's gate able to condition on the
+// previous expert.
+func (t *Trainer) advanceHidden(h []float32, layer, expert int) {
+	sig := t.signatures[layer].Row(expert)
+	for i := range h {
+		h[i] = 0.5*h[i] + float32(sig[i])
+	}
+	tensor.LayerNorm(h, nil, nil)
+}
+
+// TrainSteps runs n SGD steps and returns the mean cross-entropy of the
+// last step.
+func (t *Trainer) TrainSteps(n int) float64 {
+	lastCE := 0.0
+	for s := 0; s < n; s++ {
+		lastCE = t.trainStep()
+	}
+	return lastCE
+}
+
+// trainStep samples a batch of tokens, walks them through the layers with
+// teacher-forced expert choices, and applies CE + GShard-aux gradients to
+// every gate.
+func (t *Trainer) trainStep() float64 {
+	cfg := t.Cfg
+	ceTotal := 0.0
+	counts := 0
+	// Per-layer accumulators for the aux loss: dispatch fractions f_e (by
+	// student argmax) and mean gate probability P_e.
+	for b := 0; b < cfg.BatchSize; b++ {
+		id := rng.Mix64(cfg.Seed, 0xBA7C, uint64(t.step), uint64(b))
+		domain := t.profile.TokenDomain(id)
+		h := t.tokenInput(id)
+		teacherPrev := -1
+		for l := 0; l < cfg.Layers; l++ {
+			var target int
+			if l == 0 {
+				target = t.Teacher.First(id, domain)
+			} else {
+				target = t.Teacher.Next(id, l, teacherPrev, domain)
+			}
+			probs := t.gateProbs(l, h)
+			ceTotal += -math.Log(math.Max(float64(probs[target]), 1e-9))
+			counts++
+			t.applyGradients(l, h, probs, target)
+			// Teacher forcing: the hidden advances with the *teacher*
+			// expert so the conditional structure stays on-distribution.
+			t.advanceHidden(h, l, target)
+			teacherPrev = target
+		}
+		t.step0Barrier()
+	}
+	t.step++
+	return ceTotal / float64(counts)
+}
+
+// step0Barrier exists only to keep the batch loop structure explicit; the
+// per-token gradient application above is plain SGD (batch size amortizes
+// through the learning rate).
+func (t *Trainer) step0Barrier() {}
+
+// gateProbs evaluates softmax(h . W_l).
+func (t *Trainer) gateProbs(l int, h []float32) []float32 {
+	logits := tensor.VecMat(h, t.gates[l])
+	tensor.Softmax(logits)
+	return logits
+}
+
+// applyGradients performs one SGD update on gate l for one token:
+// cross-entropy toward the teacher target plus the GShard auxiliary
+// balancing term. For the aux term we use its standard per-token surrogate
+// gradient: alpha * E * f_e acting on the softmax probabilities, where f is
+// approximated by the current probability mass itself (self-balancing).
+func (t *Trainer) applyGradients(l int, h []float32, probs []float32, target int) {
+	cfg := t.Cfg
+	g := t.gates[l]
+	lr := float32(cfg.LR / float64(cfg.BatchSize))
+	e := float64(cfg.Experts)
+	for j := 0; j < cfg.Experts; j++ {
+		// dCE/dlogit_j = p_j - [j == target]
+		grad := float64(probs[j])
+		if j == target {
+			grad -= 1
+		}
+		// d(aux)/dlogit_j with f ≈ p: alpha * E * p_j * (p_j - sum p^2).
+		var sumSq float64
+		for _, pv := range probs {
+			sumSq += float64(pv) * float64(pv)
+		}
+		grad += cfg.AuxWeight * e * float64(probs[j]) * (float64(probs[j]) - sumSq)
+		if grad == 0 {
+			continue
+		}
+		gf := float32(grad) * lr
+		for i, hv := range h {
+			g.Data[i*cfg.Experts+j] -= gf * hv
+		}
+	}
+}
+
+// Route routes a token through the *student* gates (argmax, no teacher),
+// returning the expert path — used to trace the learned routing behaviour.
+func (t *Trainer) Route(id uint64) []int {
+	h := t.tokenInput(id)
+	path := make([]int, t.Cfg.Layers)
+	for l := 0; l < t.Cfg.Layers; l++ {
+		probs := t.gateProbs(l, h)
+		path[l] = tensor.ArgMax(probs)
+		t.advanceHidden(h, l, path[l])
+	}
+	return path
+}
+
+// TraceStudent collects a routing trace of n tokens through the learned
+// gates.
+func (t *Trainer) TraceStudent(n int, offset uint64) *trace.Trace {
+	tr := trace.New(t.Cfg.Layers, t.Cfg.Experts)
+	for i := 0; i < n; i++ {
+		id := rng.Mix64(t.Cfg.Seed, 0x57CD, offset, uint64(i))
+		tr.Append(t.Route(id))
+	}
+	return tr
+}
+
+// Accuracy measures how often the student's argmax matches the teacher
+// along teacher-forced paths (held-out tokens).
+func (t *Trainer) Accuracy(n int) float64 {
+	correct, total := 0, 0
+	for i := 0; i < n; i++ {
+		id := rng.Mix64(t.Cfg.Seed, 0xACC, uint64(i))
+		domain := t.profile.TokenDomain(id)
+		h := t.tokenInput(id)
+		prev := -1
+		for l := 0; l < t.Cfg.Layers; l++ {
+			var target int
+			if l == 0 {
+				target = t.Teacher.First(id, domain)
+			} else {
+				target = t.Teacher.Next(id, l, prev, domain)
+			}
+			if tensor.ArgMax(t.gateProbs(l, h)) == target {
+				correct++
+			}
+			total++
+			t.advanceHidden(h, l, target)
+			prev = target
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+// Router adapts the trained gates to the moe.Router interface so the
+// inference engine can run on a *learned* gate instead of the synthetic
+// kernel. It is stateless across calls: the hidden recurrence is replayed
+// from the token id, preserving the engine's shared-gating invariant.
+type Router struct{ t *Trainer }
+
+// StudentRouter returns the adapter.
+func (t *Trainer) StudentRouter() *Router { return &Router{t: t} }
+
+// Experts implements moe.Router.
+func (r *Router) Experts() int { return r.t.Cfg.Experts }
+
+// Route implements moe.Router. It replays the student recurrence up to
+// `layer`; prev and h are ignored (the trainer's own hidden dynamics define
+// the routing).
+func (r *Router) Route(layer int, tokenID uint64, prev int, h []float32) []int {
+	if layer < 0 || layer >= r.t.Cfg.Layers {
+		panic(fmt.Sprintf("train: layer %d out of range", layer))
+	}
+	hid := r.t.tokenInput(tokenID)
+	for l := 0; l < layer; l++ {
+		e := tensor.ArgMax(r.t.gateProbs(l, hid))
+		r.t.advanceHidden(hid, l, e)
+	}
+	return []int{tensor.ArgMax(r.t.gateProbs(layer, hid))}
+}
+
+var _ moe.Router = (*Router)(nil)
