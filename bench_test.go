@@ -33,8 +33,13 @@ func runExperimentBench(b *testing.B, id string, metric func(*Result) (string, f
 	}
 }
 
-// seriesEnd returns the last y value of the named series in table ti.
+// seriesEnd returns the last y value of the named series in table ti, or 0
+// when the table or series is missing (e.g. an experiment that failed and
+// reported only notes).
 func seriesEnd(res *Result, ti int, name string) float64 {
+	if ti >= len(res.Tables) {
+		return 0
+	}
 	for _, s := range res.Tables[ti].SeriesL {
 		if s.Name == name && len(s.Y) > 0 {
 			return s.Y[len(s.Y)-1]
@@ -193,6 +198,19 @@ func BenchmarkServingLatency(b *testing.B) {
 			return "p95-ratio", 0
 		}
 		return "p95-ratio", base / exf
+	})
+}
+
+func BenchmarkServeAdaptive(b *testing.B) {
+	runExperimentBench(b, "serving_adaptive", func(r *Result) (string, float64) {
+		// Drift-tail P95 of the static fleet over the adaptive fleet (>1
+		// means the live re-placement is paying off).
+		static := seriesEnd(r, 0, "static-p95")
+		adaptive := seriesEnd(r, 0, "adaptive-p95")
+		if adaptive == 0 {
+			return "tail-p95-ratio", 0
+		}
+		return "tail-p95-ratio", static / adaptive
 	})
 }
 

@@ -45,6 +45,11 @@ type SystemOptions struct {
 	// measured in the paper correspond to roughly 0.75-0.9. Zero selects
 	// the default 0.85.
 	AffinityStrength float64
+	// DomainTilt scales how domain-specialized the routing kernel is (see
+	// synth.KernelParams.DomainTilt). Zero selects the paper-faithful mild
+	// default of 1; the online-serving drift experiments use larger values
+	// to model checkpoints whose routing is sensitive to the traffic mix.
+	DomainTilt float64
 	// Dataset is the token-domain profile used for profiling and workload
 	// generation; nil means synth.Pile().
 	Dataset *synth.DatasetProfile
@@ -83,10 +88,11 @@ func NewSystem(opts SystemOptions) *System {
 		ds = synth.Pile()
 	}
 	kernel := synth.NewKernel(synth.KernelParams{
-		Seed:     rng.Mix64(opts.Seed, 0x5F5),
-		Layers:   cfg.Layers,
-		Experts:  cfg.Experts,
-		Strength: strength,
+		Seed:       rng.Mix64(opts.Seed, 0x5F5),
+		Layers:     cfg.Layers,
+		Experts:    cfg.Experts,
+		Strength:   strength,
+		DomainTilt: opts.DomainTilt,
 	})
 	return &System{
 		Model:   moe.NewModel(cfg, rng.Mix64(opts.Seed, 0x30D)),

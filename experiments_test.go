@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation_coherence", "ablation_solvers", "ablation_staged", "ablation_replication",
 		"ablation_top2", "ablation_capacity", "ablation_hierarchical",
 		"ablation_learnedgate", "ablation_migration", "serving_latency",
+		"serving_adaptive",
 	}
 	have := map[string]bool{}
 	for _, id := range Experiments() {
@@ -231,6 +232,43 @@ func TestFig12DipThenClimb(t *testing.T) {
 		if s.Y[len(s.Y)-1] < s.Y[0] {
 			t.Fatalf("series %s: late-phase affinity should climb", s.Name)
 		}
+	}
+}
+
+func TestServingAdaptiveRecovers(t *testing.T) {
+	t.Parallel()
+	res, err := RunExperiment("serving_adaptive", ExperimentOptions{Scale: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatalf("experiment produced no tables; notes: %v", res.Notes)
+	}
+	var st, ad *seriesRef
+	for _, s := range res.Tables[0].SeriesL {
+		switch s.Name {
+		case "static-p95":
+			st = &seriesRef{x: s.X, y: s.Y}
+		case "adaptive-p95":
+			ad = &seriesRef{x: s.X, y: s.Y}
+		}
+	}
+	if st == nil || ad == nil || len(st.y) != 3 || len(ad.y) != 3 {
+		t.Fatal("era table malformed")
+	}
+	// Era 2 is the drift tail, after the adaptive fleet has re-placed and
+	// settled: it must not serve worse than the static fleet there.
+	if ad.y[2] > st.y[2] {
+		t.Fatalf("adaptive drift-tail P95 %v worse than static %v", ad.y[2], st.y[2])
+	}
+	migrated := false
+	for _, n := range res.Notes {
+		if strings.HasPrefix(n, "migration @") {
+			migrated = true
+		}
+	}
+	if !migrated {
+		t.Fatal("adaptive fleet should have migrated under drift")
 	}
 }
 

@@ -47,6 +47,11 @@ func Diff(a, b *Placement) []Move {
 // order of how many (layer, expert) slots they share between a and b.
 // Greedy matching is within a factor of optimal for this assignment and is
 // exact in the common near-identical case.
+//
+// On a multi-node topology use CanonicalizeTopo instead: an unconstrained
+// global permutation preserves GPU-level crossings but can move GPU labels
+// between nodes, scrambling which experts share a node and thereby
+// destroying the staged solver's inter-node optimization.
 func Canonicalize(a, b *Placement) *Placement {
 	if a.Layers != b.Layers || a.Experts != b.Experts || a.GPUs != b.GPUs {
 		panic("placement: Canonicalize shape mismatch")
@@ -61,17 +66,42 @@ func Canonicalize(a, b *Placement) *Placement {
 			overlap[a.Assign[j][e]][b.Assign[j][e]]++
 		}
 	}
+	permTo := greedyMatch(overlap)
+	out := b.Clone()
+	for j := 0; j < b.Layers; j++ {
+		for e := 0; e < b.Experts; e++ {
+			out.Assign[j][e] = permTo[b.Assign[j][e]]
+		}
+	}
+	return fewerMoves(a, out, b)
+}
+
+// fewerMoves returns whichever candidate relabeling of b needs fewer moves
+// from a. Greedy matching is near-optimal but not optimal; without this
+// guard a canonicalization could occasionally cost more moves than using b
+// unrelabeled.
+func fewerMoves(a, canon, b *Placement) *Placement {
+	if len(Diff(a, canon)) <= len(Diff(a, b)) {
+		return canon
+	}
+	return b.Clone()
+}
+
+// greedyMatch matches columns (b-labels) to rows (a-labels) in decreasing
+// overlap order, returning permTo[q] = p.
+func greedyMatch(overlap [][]int) []int {
+	n := len(overlap)
 	type pair struct{ p, q, n int }
 	var pairs []pair
-	for p := 0; p < a.GPUs; p++ {
-		for q := 0; q < a.GPUs; q++ {
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
 			pairs = append(pairs, pair{p, q, overlap[p][q]})
 		}
 	}
 	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].n > pairs[j].n })
-	permTo := make([]int, a.GPUs) // b-label q -> new label
-	usedP := make([]bool, a.GPUs)
-	usedQ := make([]bool, a.GPUs)
+	permTo := make([]int, n)
+	usedP := make([]bool, n)
+	usedQ := make([]bool, n)
 	for i := range permTo {
 		permTo[i] = -1
 	}
@@ -83,13 +113,65 @@ func Canonicalize(a, b *Placement) *Placement {
 		usedP[pr.p] = true
 		usedQ[pr.q] = true
 	}
+	return permTo
+}
+
+// CanonicalizeTopo relabels b's GPUs to minimize moves from a while
+// preserving b's node structure: the permutation factors into a node
+// permutation composed with per-node GPU permutations, which (on a
+// homogeneous topology) leaves both b's GPU-level and node-level crossings
+// unchanged. This is the correct canonicalization for placements produced by
+// the staged solver.
+func CanonicalizeTopo(a, b *Placement, gpusPerNode int) *Placement {
+	if a.Layers != b.Layers || a.Experts != b.Experts || a.GPUs != b.GPUs {
+		panic("placement: CanonicalizeTopo shape mismatch")
+	}
+	if gpusPerNode <= 0 || a.GPUs%gpusPerNode != 0 {
+		panic(fmt.Sprintf("placement: %d gpus not divisible into nodes of %d", a.GPUs, gpusPerNode))
+	}
+	nodes := a.GPUs / gpusPerNode
+	if nodes == 1 {
+		return Canonicalize(a, b)
+	}
+	// Stage 1: match b's nodes to a's nodes by slot overlap.
+	overlapN := make([][]int, nodes)
+	for p := range overlapN {
+		overlapN[p] = make([]int, nodes)
+	}
+	for j := 0; j < a.Layers; j++ {
+		for e := 0; e < a.Experts; e++ {
+			overlapN[a.Assign[j][e]/gpusPerNode][b.Assign[j][e]/gpusPerNode]++
+		}
+	}
+	nodePerm := greedyMatch(overlapN) // b-node -> a-node
+	// Stage 2: inside each matched node pair, match GPU labels.
+	permTo := make([]int, a.GPUs) // b-gpu -> new label
+	for qb := 0; qb < nodes; qb++ {
+		pa := nodePerm[qb]
+		overlapG := make([][]int, gpusPerNode)
+		for p := range overlapG {
+			overlapG[p] = make([]int, gpusPerNode)
+		}
+		for j := 0; j < a.Layers; j++ {
+			for e := 0; e < a.Experts; e++ {
+				ag, bg := a.Assign[j][e], b.Assign[j][e]
+				if ag/gpusPerNode == pa && bg/gpusPerNode == qb {
+					overlapG[ag%gpusPerNode][bg%gpusPerNode]++
+				}
+			}
+		}
+		local := greedyMatch(overlapG)
+		for ql := 0; ql < gpusPerNode; ql++ {
+			permTo[qb*gpusPerNode+ql] = pa*gpusPerNode + local[ql]
+		}
+	}
 	out := b.Clone()
 	for j := 0; j < b.Layers; j++ {
 		for e := 0; e < b.Experts; e++ {
 			out.Assign[j][e] = permTo[b.Assign[j][e]]
 		}
 	}
-	return out
+	return fewerMoves(a, out, b)
 }
 
 // MigrationPlan prices a set of moves on a topology.
@@ -106,13 +188,20 @@ type MigrationPlan struct {
 }
 
 // PriceMigration computes the cost of migrating from a to b (after
-// canonicalization) with the given per-expert parameter size.
+// topology-aware canonicalization) with the given per-expert parameter size.
+// Callers that intend to *install* the canonicalized placement should
+// canonicalize themselves and use PriceMoves, so the plan prices exactly the
+// placement being adopted.
 func PriceMigration(a, b *Placement, tp *topo.Topology, expertBytes int) *MigrationPlan {
 	if tp.TotalGPUs() != a.GPUs {
 		panic(fmt.Sprintf("placement: topology %d gpus, placement %d", tp.TotalGPUs(), a.GPUs))
 	}
-	canon := Canonicalize(a, b)
-	moves := Diff(a, canon)
+	canon := CanonicalizeTopo(a, b, tp.GPUsPerNode)
+	return PriceMoves(Diff(a, canon), tp, expertBytes)
+}
+
+// PriceMoves prices an explicit move set on a topology.
+func PriceMoves(moves []Move, tp *topo.Topology, expertBytes int) *MigrationPlan {
 	plan := &MigrationPlan{Moves: moves}
 	for i := range plan.Moves {
 		m := &plan.Moves[i]

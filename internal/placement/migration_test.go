@@ -72,6 +72,47 @@ func TestCanonicalizePreservesCrossings(t *testing.T) {
 	}
 }
 
+func TestCanonicalizeTopoPreservesNodeStructure(t *testing.T) {
+	// An unconstrained global permutation can relabel GPUs across node
+	// boundaries, silently destroying the staged solver's inter-node
+	// optimization; the topology-aware canonicalization must not.
+	tp := topo.Wilkes3(4)
+	tr := makeTrace(17, 6, 32, 3000, 0.85)
+	counts := tr.AllTransitionCounts()
+	a := Staged(counts, 6, 32, tp, 1)
+	b := Staged(counts, 6, 32, tp, 99) // independent solve, same problem
+	canon := CanonicalizeTopo(a, b, tp.GPUsPerNode)
+	if err := canon.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canon.Crossings(counts), b.Crossings(counts); got != want {
+		t.Fatalf("GPU crossings changed: %v vs %v", got, want)
+	}
+	if got, want := canon.NodeCrossings(counts, tp.GPUsPerNode), b.NodeCrossings(counts, tp.GPUsPerNode); got != want {
+		t.Fatalf("node crossings changed: %v vs %v", got, want)
+	}
+	if len(Diff(a, canon)) > len(Diff(a, b)) {
+		t.Fatal("canonicalization increased the move count")
+	}
+}
+
+func TestCanonicalizeTopoRemovesHierarchicalRelabeling(t *testing.T) {
+	// b = a with nodes swapped and GPUs reversed inside each node: a pure
+	// hierarchical relabeling must cost zero moves.
+	a := Random(4, 16, 8, 3)
+	perm := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	b := a.Clone()
+	for j := range b.Assign {
+		for e := range b.Assign[j] {
+			b.Assign[j][e] = perm[a.Assign[j][e]]
+		}
+	}
+	canon := CanonicalizeTopo(a, b, 4)
+	if moves := Diff(a, canon); len(moves) != 0 {
+		t.Fatalf("hierarchical relabeling should canonicalize to zero moves, got %d", len(moves))
+	}
+}
+
 func TestPriceMigration(t *testing.T) {
 	tp := topo.Wilkes3(2)
 	a := Contiguous(4, 16, 8)

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"repro/internal/placement"
+	"repro/internal/topo"
+)
+
+// MigrationEvent records one live re-placement: when the controller fired,
+// what it cost, and what it predicted the new placement would buy.
+type MigrationEvent struct {
+	// Time is the simulated second the controller decided to migrate.
+	Time float64
+	// Completed is when the last replica finished its parameter copy.
+	Completed float64
+	// Score is the drift divergence that triggered the re-solve.
+	Score float64
+	// Moves / CrossNodeMoves count relocated experts (after canonicalization).
+	Moves, CrossNodeMoves int
+	// Seconds is the per-replica serving pause charged to the simulated
+	// clock while that replica's expert parameters are copied.
+	Seconds float64
+	// PredictedGain is the fractional reduction in live-window crossings the
+	// re-solved placement promises (1 - fresh/stale).
+	PredictedGain float64
+}
+
+// pendingMigration sequences a rolling re-placement across replicas: only
+// the replica whose index equals next is stalled at any time, so the rest of
+// the fleet keeps serving while parameters move.
+type pendingMigration struct {
+	newPl *placement.Placement
+	event *MigrationEvent
+	next  int
+}
+
+// controller is the background re-placement loop: it watches the live
+// TraceWindow through a drift Detector and, when drift persists, re-solves
+// the placement on the live counts, prices the migration, and hands the
+// server a rolling migration plan. The FPTAS-for-ISSP lineage motivates
+// treating this as an incremental budgeted step — canonicalization keeps the
+// move set near-minimal and MinGain rejects re-solves that would churn
+// parameters for marginal benefit.
+type controller struct {
+	opts   *Options
+	window *TraceWindow
+	det    *Detector
+
+	cooldownUntil float64
+	solves        int
+}
+
+func newController(opts *Options, window *TraceWindow, baseline [][]float64) *controller {
+	return &controller{
+		opts:   opts,
+		window: window,
+		det:    NewDetector(opts.Metric, opts.DriftThreshold, opts.Patience, baseline),
+	}
+}
+
+// observe scores the live window and, when the detector fires under the
+// controller's gating conditions, returns a migration plan (nil otherwise).
+// busy indicates a migration is already in flight.
+func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (float64, *pendingMigration) {
+	score, fired := c.det.Observe(c.window.Pooled())
+	if !c.opts.Adaptive || busy || !fired {
+		return score, nil
+	}
+	if c.window.Fill() < c.opts.MinFill || now < c.cooldownUntil {
+		return score, nil
+	}
+	counts := c.window.Snapshot()
+	c.solves++
+	fresh := placement.Staged(counts, cur.Layers, cur.Experts, c.opts.Topo, c.opts.Seed+uint64(c.solves)*0x51ED)
+	canon := placement.CanonicalizeTopo(cur, fresh, c.opts.Topo.GPUsPerNode)
+	// Gain is measured in modeled per-token service time, the quantity the
+	// queue actually feels — not raw crossings, which weight an NVLink hop
+	// the same as an IB hop.
+	gain := 0.0
+	if stale := c.perTokenCost(counts, cur); stale > 0 {
+		gain = 1 - c.perTokenCost(counts, canon)/stale
+	}
+	if gain < c.opts.MinGain {
+		// Not worth the parameter traffic; back off before re-solving again.
+		c.cooldownUntil = now + c.opts.Cooldown
+		c.det.Rebase(c.det.baseline) // clear the hot streak, keep the baseline
+		return score, nil
+	}
+	// Price exactly the placement being installed (PriceMigration would
+	// re-canonicalize and could plan for a different relabeling).
+	plan := placement.PriceMoves(placement.Diff(cur, canon), c.opts.Topo, c.opts.ExpertBytes)
+	return score, &pendingMigration{
+		newPl: canon,
+		event: &MigrationEvent{
+			Time:           now,
+			Score:          score,
+			Moves:          len(plan.Moves),
+			CrossNodeMoves: plan.CrossNodeMoves,
+			Seconds:        plan.Seconds,
+			PredictedGain:  gain,
+		},
+	}
+}
+
+// perTokenCost evaluates the cost model's per-token service time for a
+// placement against a transition-count tensor: the count-weighted same-node
+// and cross-node transition fractions plugged into the fitted coefficients.
+func (c *controller) perTokenCost(counts [][][]float64, pl *placement.Placement) float64 {
+	var node, cross, total float64
+	for j := range counts {
+		for from := range counts[j] {
+			gFrom := pl.GPUOf(j, from)
+			for to, w := range counts[j][from] {
+				if w == 0 {
+					continue
+				}
+				total += w
+				switch c.opts.Topo.Classify(gFrom, pl.GPUOf(j+1, to)) {
+				case topo.SameNode:
+					node += w
+				case topo.CrossNode:
+					cross += w
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	m := c.opts.Cost
+	return m.PerToken + m.PerNodeHop*node/total + m.PerCrossHop*cross/total
+}
+
+// finish is called when the last replica adopted the new placement: the live
+// distribution becomes the new baseline and the cooldown window opens.
+func (c *controller) finish(now float64) {
+	c.det.Rebase(c.window.Pooled())
+	c.cooldownUntil = now + c.opts.Cooldown
+}

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// PhaseStats summarizes the requests that *arrived* during one time span —
+// attributing latency to the traffic era that caused it, not the era it
+// happened to finish in.
+type PhaseStats struct {
+	Name       string
+	Start, End float64
+	Requests   int
+	Mean       float64
+	P50        float64
+	P95        float64
+	P99        float64
+	// Throughput is decode tokens per second completed inside [Start, End).
+	Throughput float64
+}
+
+// Report is the outcome of a serving run.
+type Report struct {
+	// Phases aligns with Options.Phases; Overall spans the whole run.
+	Phases  []PhaseStats
+	Overall PhaseStats
+	// LatencyP95 buckets completed requests by finish time: x is the bucket
+	// midpoint (simulated seconds), y the bucket's P95 latency. Migration
+	// pauses appear as spikes here.
+	LatencyP95 *stats.Series
+	// Throughput is decoded tokens/second per bucket.
+	Throughput *stats.Series
+	// Drift is the detector score over time.
+	Drift *stats.Series
+	// CrossFrac is the cross-node dispatch fraction over time (bucket-mean
+	// of the per-iteration values) — the quantity the live re-placement
+	// exists to pull back down.
+	CrossFrac *stats.Series
+	// QueueDepth is the fleet-wide queued+active request count over time.
+	QueueDepth *stats.Series
+	// Migrations lists every applied re-placement.
+	Migrations []MigrationEvent
+	// Makespan, Iterations, MeanBatch, Requests, Tokens summarize the run.
+	Makespan   float64
+	Iterations int
+	MeanBatch  float64
+	Requests   int
+	Tokens     int
+	// Saturated reports whether the fleet-wide queue was still growing at
+	// the end of the run (offered load above capacity).
+	Saturated bool
+
+	// arrivals/latencies (sorted by arrival) back WindowStats.
+	arrivalTimes []float64
+	latencies    []float64
+	finishTimes  []float64
+}
+
+// WindowStats computes request statistics over the requests arriving in
+// [t0, t1) — the primitive behind per-phase and post-recovery comparisons.
+func (r *Report) WindowStats(t0, t1 float64) PhaseStats {
+	ps := PhaseStats{Name: fmt.Sprintf("[%.1f,%.1f)", t0, t1), Start: t0, End: t1}
+	var lat []float64
+	for i, at := range r.arrivalTimes {
+		if at >= t0 && at < t1 {
+			lat = append(lat, r.latencies[i])
+		}
+	}
+	ps.Requests = len(lat)
+	if len(lat) == 0 {
+		return ps
+	}
+	ps.Mean = stats.Mean(lat)
+	ps.P50 = stats.Percentile(lat, 50)
+	ps.P95 = stats.Percentile(lat, 95)
+	ps.P99 = stats.Percentile(lat, 99)
+	return ps
+}
+
+// String renders a compact human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "served %d requests (%d tokens) in %.2fs sim, mean batch %.1f, %d migrations\n",
+		r.Requests, r.Tokens, r.Makespan, r.MeanBatch, len(r.Migrations))
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "  phase %-10s [%6.1fs,%6.1fs) %6d req  P50 %.3fs  P95 %.3fs  P99 %.3fs  %.0f tok/s\n",
+			p.Name, p.Start, p.End, p.Requests, p.P50, p.P95, p.P99, p.Throughput)
+	}
+	for _, m := range r.Migrations {
+		fmt.Fprintf(&b, "  migration @%.2fs: score %.4f, %d moves (%d cross-node), %.1fms pause/replica, predicted gain %.1f%%\n",
+			m.Time, m.Score, m.Moves, m.CrossNodeMoves, m.Seconds*1e3, m.PredictedGain*100)
+	}
+	return b.String()
+}
+
+// buildReport aggregates the run state.
+func (s *server) buildReport() *Report {
+	rep := &Report{
+		Migrations: s.migrations,
+		Iterations: s.iterations,
+		Requests:   len(s.arrivals),
+		Tokens:     len(s.arrivals) * s.opts.DecodeTokens,
+	}
+	if s.iterations > 0 {
+		rep.MeanBatch = float64(s.batchTotal) / float64(s.iterations)
+	}
+
+	// Requests are already sorted by arrival (generated in time order).
+	for _, rq := range s.arrivals {
+		rep.arrivalTimes = append(rep.arrivalTimes, rq.arrival)
+		rep.latencies = append(rep.latencies, rq.finish-rq.arrival)
+		rep.finishTimes = append(rep.finishTimes, rq.finish)
+		if rq.finish > rep.Makespan {
+			rep.Makespan = rq.finish
+		}
+	}
+
+	// Per-phase and overall stats.
+	start := 0.0
+	for i, p := range s.opts.Phases {
+		ps := rep.WindowStats(start, start+p.Duration)
+		ps.Name = p.Name
+		if ps.Name == "" {
+			ps.Name = fmt.Sprintf("phase%d", i)
+		}
+		ps.Throughput = s.tokensIn(start, start+p.Duration) / p.Duration
+		rep.Phases = append(rep.Phases, ps)
+		start += p.Duration
+	}
+	rep.Overall = rep.WindowStats(0, rep.Makespan+1)
+	rep.Overall.Name = "overall"
+	if rep.Makespan > 0 {
+		rep.Overall.Throughput = float64(rep.Tokens) / rep.Makespan
+	}
+
+	// Time-bucketed series.
+	bucket := s.opts.LatencyBucket
+	if bucket <= 0 {
+		bucket = rep.Makespan / 80
+	}
+	if bucket > 0 {
+		rep.LatencyP95 = bucketedP95(rep.finishTimes, rep.latencies, bucket)
+		rep.LatencyP95.Name = "p95-latency"
+		rep.Throughput = s.throughputSeries(bucket)
+	}
+	rep.Drift = &stats.Series{Name: "drift-score", X: s.driftT, Y: s.driftY}
+	rep.CrossFrac = bucketedMean(s.fracT, s.fracY, bucket)
+	rep.CrossFrac.Name = "cross-frac"
+	rep.QueueDepth = &stats.Series{Name: "queue-depth", X: s.queueT, Y: s.queueY}
+	if n := len(s.queueY); n >= 8 {
+		early := stats.Max(s.queueY[:n/2])
+		late := stats.Max(s.queueY[n/2:])
+		rep.Saturated = late > 4*early+8
+	}
+	return rep
+}
+
+// tokensIn sums decoded tokens inside a time span.
+func (s *server) tokensIn(t0, t1 float64) float64 {
+	n := 0
+	for _, tk := range s.decoded {
+		if tk.t >= t0 && tk.t < t1 {
+			n += tk.n
+		}
+	}
+	return float64(n)
+}
+
+// throughputSeries buckets decoded tokens over time.
+func (s *server) throughputSeries(bucket float64) *stats.Series {
+	out := &stats.Series{Name: "tokens-per-sec"}
+	if len(s.decoded) == 0 {
+		return out
+	}
+	end := s.decoded[len(s.decoded)-1].t
+	for t0 := 0.0; t0 < end; t0 += bucket {
+		out.Add(t0+bucket/2, s.tokensIn(t0, t0+bucket)/bucket)
+	}
+	return out
+}
+
+// bucketedMean averages time-ordered samples per time bucket.
+func bucketedMean(times, vals []float64, bucket float64) *stats.Series {
+	if bucket <= 0 {
+		return &stats.Series{X: append([]float64(nil), times...), Y: append([]float64(nil), vals...)}
+	}
+	out := &stats.Series{}
+	edge := bucket
+	sum, n := 0.0, 0
+	flush := func() {
+		if n > 0 {
+			out.Add(edge-bucket/2, sum/float64(n))
+			sum, n = 0, 0
+		}
+	}
+	for i, t := range times {
+		for t >= edge {
+			flush()
+			edge += bucket
+		}
+		sum += vals[i]
+		n++
+	}
+	flush()
+	return out
+}
+
+// bucketedP95 computes the P95 of latencies grouped by finish-time bucket.
+func bucketedP95(times, lats []float64, bucket float64) *stats.Series {
+	type idx struct{ t, l float64 }
+	pairs := make([]idx, len(times))
+	for i := range times {
+		pairs[i] = idx{times[i], lats[i]}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].t < pairs[b].t })
+	out := &stats.Series{}
+	var cur []float64
+	edge := bucket
+	flush := func() {
+		if len(cur) > 0 {
+			out.Add(edge-bucket/2, stats.Percentile(cur, 95))
+			cur = cur[:0]
+		}
+	}
+	for _, p := range pairs {
+		for p.t >= edge {
+			flush()
+			edge += bucket
+		}
+		cur = append(cur, p.l)
+	}
+	flush()
+	return out
+}

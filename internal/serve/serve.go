@@ -1,0 +1,465 @@
+// Package serve is the online serving subsystem layered above the ExFlow
+// pipeline: a discrete-event simulation of a multi-replica MoE deployment
+// under continuous batching, whose per-iteration cost is a locality-aware
+// model fit from real engine runs (workload.LocalityModel). While requests
+// stream through, every decoded token's routing path is recorded in a
+// sliding TraceWindow; a drift Detector compares the live transition
+// distribution against the offline profiling baseline, and when routing
+// drifts — the token mixture shifted and the once-optimal placement decays —
+// a background controller re-solves the placement on the live window and
+// applies it replica by replica, charging the parameter-copy pause to the
+// simulated clock so its latency cost is visible in the report.
+//
+// The paper computes its placement once, offline (Section V-A); this package
+// is the production loop that keeps that placement fresh under live traffic.
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Options configures a serving run. The first block wires the system under
+// test (all required); the rest tune the workload and the adaptive
+// controller and have serviceable defaults.
+type Options struct {
+	// Topo is the per-replica hardware topology.
+	Topo *topo.Topology
+	// Kernel is the model's routing behaviour; TopK the gating fan-out.
+	Kernel *synth.Kernel
+	TopK   int
+	// Placement is the initial expert placement every replica starts from.
+	Placement *placement.Placement
+	// BaselineCounts are the offline profiling-trace transition counts: the
+	// drift detector's reference distribution.
+	BaselineCounts [][][]float64
+	// Cost converts (batch, dispatch locality) into iteration seconds.
+	Cost workload.LocalityModel
+	// ExpertBytes is the parameter size of one expert (prices migrations).
+	ExpertBytes int
+
+	// Replicas is the number of independent expert-parallel replicas behind
+	// the front-end (default 2).
+	Replicas int
+	// MaxBatch is each replica's continuous-batching slot limit (default
+	// 4 GPUs' worth: 4 * Topo.TotalGPUs()).
+	MaxBatch int
+	// DecodeTokens is the per-request decode length (default 32).
+	DecodeTokens int
+	// Phases is the traffic program; at least one phase is required.
+	Phases []Phase
+
+	// Adaptive enables the re-placement controller; when false the server
+	// still tracks drift (the series appears in the report) but never
+	// migrates — the static-ExFlow baseline.
+	Adaptive bool
+	// Window is the TraceWindow capacity in token paths (default 4096).
+	Window int
+	// CheckInterval is the drift-check cadence in simulated seconds
+	// (default 0.5).
+	CheckInterval float64
+	// Metric, DriftThreshold, Patience parameterize the Detector (defaults:
+	// JS, 0.008, 2).
+	Metric         DriftMetric
+	DriftThreshold float64
+	Patience       int
+	// Cooldown is the minimum simulated seconds between re-solves
+	// (default 5).
+	Cooldown float64
+	// MinFill is the window fill fraction required before a re-solve
+	// (default 0.5).
+	MinFill float64
+	// MinGain is the minimum fractional crossing reduction worth migrating
+	// for (default 0.01).
+	MinGain float64
+	// LatencyBucket is the report's time-bucket width in seconds for the
+	// P95/throughput series (0 = makespan/80).
+	LatencyBucket float64
+	// Seed makes the whole run deterministic.
+	Seed uint64
+}
+
+// DefaultReplicas and DefaultWindow are the fleet-size and trace-window
+// defaults, exported so callers resolving their own defaults (the root
+// package's Serve) stay in sync.
+const (
+	DefaultReplicas = 2
+	DefaultWindow   = 4096
+)
+
+func (o Options) withDefaults() Options {
+	if o.Replicas == 0 {
+		o.Replicas = DefaultReplicas
+	}
+	if o.MaxBatch == 0 && o.Topo != nil {
+		o.MaxBatch = 4 * o.Topo.TotalGPUs()
+	}
+	if o.DecodeTokens == 0 {
+		o.DecodeTokens = 32
+	}
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.CheckInterval == 0 {
+		o.CheckInterval = 0.5
+	}
+	if o.DriftThreshold == 0 {
+		// JS sampling noise on a full default window sits near 0.005 and a
+		// clear mixture shift near 0.02+ (see the drift detector tests);
+		// 0.008 separates them with margin on both sides.
+		o.DriftThreshold = 0.008
+	}
+	if o.Patience == 0 {
+		o.Patience = 2
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = 5
+	}
+	if o.MinFill == 0 {
+		o.MinFill = 0.5
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 0.01
+	}
+	if o.TopK == 0 {
+		o.TopK = 1
+	}
+	return o
+}
+
+// Validate checks the options.
+func (o *Options) Validate() error {
+	switch {
+	case o.Topo == nil || o.Kernel == nil || o.Placement == nil:
+		return fmt.Errorf("serve: Topo, Kernel and Placement are required")
+	case o.BaselineCounts == nil:
+		return fmt.Errorf("serve: BaselineCounts required (profile the system first)")
+	case o.Cost.Fixed <= 0 && o.Cost.PerToken <= 0 && o.Cost.PerNodeHop <= 0 && o.Cost.PerCrossHop <= 0:
+		// Mirrors FitLocalityModel's degeneracy criterion: any single
+		// positive coefficient is a usable (if lopsided) cost model.
+		return fmt.Errorf("serve: Cost model is empty (fit it from engine runs)")
+	case o.ExpertBytes <= 0:
+		return fmt.Errorf("serve: ExpertBytes must be positive")
+	case o.Replicas <= 0 || o.MaxBatch <= 0 || o.DecodeTokens <= 0:
+		return fmt.Errorf("serve: Replicas, MaxBatch, DecodeTokens must be positive")
+	case len(o.Phases) == 0:
+		return fmt.Errorf("serve: at least one traffic phase required")
+	}
+	for _, p := range o.Phases {
+		if err := p.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tokenOrdinalBase offsets serving token ordinals past both the profiling
+// stream ([0, profileTokens)) and the engine's evaluation stream (1<<20 + …)
+// so live traffic never replays profiled tokens.
+const tokenOrdinalBase = 1 << 22
+
+// request is one in-flight generation request.
+type request struct {
+	arrival   float64
+	phase     int
+	remaining int
+	finish    float64
+	replica   int
+	home      int // home GPU inside the replica (layer-0 dispatch origin)
+}
+
+// replica is one expert-parallel deployment behind the front-end.
+type replica struct {
+	id      int
+	pl      *placement.Placement
+	queue   []*request
+	active  []*request
+	running bool
+	stalled bool
+	admits  int
+}
+
+// load is the front-end's routing metric: queued plus active requests.
+func (r *replica) load() int { return len(r.queue) + len(r.active) }
+
+// Event kinds, in tie-break priority order at equal timestamps: arrivals
+// first (so a request arriving exactly at an iteration boundary can be
+// admitted by it), then stall completions, then iteration completions.
+const (
+	evArrival = iota
+	evStallEnd
+	evIterEnd
+)
+
+type event struct {
+	t    float64
+	kind int
+	rep  int // replica id (evIterEnd, evStallEnd)
+	seq  int // arrival index (evArrival); monotonic otherwise
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	if h[i].rep != h[j].rep {
+		return h[i].rep < h[j].rep
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// server is the run state.
+type server struct {
+	opts     Options
+	routers  []moe.Router // per phase
+	replicas []*replica
+	window   *TraceWindow
+	ctrl     *controller
+
+	events    eventHeap
+	arrivals  []*request
+	pending   *pendingMigration
+	lastCheck float64
+	ordinal   uint64
+	seq       int
+
+	iterations int
+	batchTotal int
+	decoded    []tick // (time, tokens decoded) per iteration
+	fracT      []float64
+	fracY      []float64 // per-iteration cross-node dispatch fraction
+	driftT     []float64
+	driftY     []float64
+	queueT     []float64
+	queueY     []float64
+	migrations []MigrationEvent
+}
+
+// tick is a timestamped count.
+type tick struct {
+	t float64
+	n int
+}
+
+// Run executes the serving simulation and returns its report.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	layers := opts.Placement.Layers
+	if opts.Kernel.Layers != layers || opts.Kernel.Experts != opts.Placement.Experts {
+		return nil, fmt.Errorf("serve: kernel %dx%d does not match placement %dx%d",
+			opts.Kernel.Layers, opts.Kernel.Experts, layers, opts.Placement.Experts)
+	}
+	if opts.Topo.TotalGPUs() != opts.Placement.GPUs {
+		return nil, fmt.Errorf("serve: topology %d gpus, placement %d", opts.Topo.TotalGPUs(), opts.Placement.GPUs)
+	}
+
+	s := &server{
+		opts:   opts,
+		window: NewTraceWindow(layers, opts.Placement.Experts, opts.Window),
+	}
+	s.ctrl = newController(&s.opts, s.window, poolCounts(opts.BaselineCounts, opts.Placement.Experts))
+	for _, p := range opts.Phases {
+		s.routers = append(s.routers, synth.NewKernelRouter(opts.Kernel, p.Dataset, opts.TopK))
+	}
+	for r := 0; r < opts.Replicas; r++ {
+		s.replicas = append(s.replicas, &replica{id: r, pl: opts.Placement.Clone()})
+	}
+
+	// Pre-draw every arrival: phase by phase, deterministic in the seed.
+	ar := rng.New(rng.Mix64(opts.Seed, 0xA881))
+	start := 0.0
+	for pi, p := range opts.Phases {
+		for _, t := range generateArrivals(ar, p, start) {
+			s.arrivals = append(s.arrivals, &request{arrival: t, phase: pi, remaining: opts.DecodeTokens})
+		}
+		start += p.Duration
+	}
+	if len(s.arrivals) == 0 {
+		return nil, fmt.Errorf("serve: traffic program produced no arrivals")
+	}
+	heap.Init(&s.events)
+	for i := range s.arrivals {
+		heap.Push(&s.events, event{t: s.arrivals[i].arrival, kind: evArrival, seq: i})
+	}
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		switch e.kind {
+		case evArrival:
+			s.onArrival(e.t, s.arrivals[e.seq])
+		case evIterEnd:
+			s.onIterEnd(e.t, s.replicas[e.rep])
+		case evStallEnd:
+			s.onStallEnd(e.t, s.replicas[e.rep])
+		}
+	}
+	return s.buildReport(), nil
+}
+
+// onArrival admits a request to the least-loaded replica's queue.
+func (s *server) onArrival(now float64, rq *request) {
+	best := s.replicas[0]
+	for _, r := range s.replicas[1:] {
+		if r.load() < best.load() {
+			best = r
+		}
+	}
+	rq.replica = best.id
+	best.queue = append(best.queue, rq)
+	if !best.running && !best.stalled {
+		s.start(now, best)
+	}
+}
+
+// onIterEnd retires finished requests, runs the drift check, and begins the
+// replica's next activity (stall or iteration).
+func (s *server) onIterEnd(now float64, r *replica) {
+	r.running = false
+	kept := r.active[:0]
+	for _, rq := range r.active {
+		rq.remaining--
+		if rq.remaining == 0 {
+			rq.finish = now
+		} else {
+			kept = append(kept, rq)
+		}
+	}
+	s.decoded = append(s.decoded, tick{t: now, n: len(r.active)})
+	r.active = kept
+
+	s.maybeCheckDrift(now)
+
+	if s.pending != nil && s.pending.next == r.id && !r.stalled {
+		s.beginStall(now, r)
+		return
+	}
+	s.start(now, r)
+}
+
+// onStallEnd installs the new placement on the migrated replica and passes
+// the baton to the next one.
+func (s *server) onStallEnd(now float64, r *replica) {
+	r.stalled = false
+	r.pl = s.pending.newPl.Clone()
+	s.pending.next++
+	if s.pending.next >= len(s.replicas) {
+		s.pending.event.Completed = now
+		s.migrations = append(s.migrations, *s.pending.event)
+		s.pending = nil
+		s.ctrl.finish(now)
+	} else if nxt := s.replicas[s.pending.next]; !nxt.running && !nxt.stalled {
+		s.beginStall(now, nxt)
+	}
+	s.start(now, r)
+}
+
+// beginStall pauses a replica for the migration's parameter-copy time.
+func (s *server) beginStall(now float64, r *replica) {
+	r.stalled = true
+	s.seq++
+	heap.Push(&s.events, event{t: now + s.pending.event.Seconds, kind: evStallEnd, rep: r.id, seq: s.seq})
+}
+
+// maybeCheckDrift runs the periodic drift observation and, when the
+// controller returns a plan, starts the rolling migration.
+func (s *server) maybeCheckDrift(now float64) {
+	if now-s.lastCheck < s.opts.CheckInterval {
+		return
+	}
+	s.lastCheck = now
+	// All replicas share placement lineage; score drift against replica 0's.
+	score, plan := s.ctrl.observe(now, s.replicas[0].pl, s.pending != nil)
+	s.driftT = append(s.driftT, now)
+	s.driftY = append(s.driftY, score)
+	depth := 0
+	for _, r := range s.replicas {
+		depth += r.load()
+	}
+	s.queueT = append(s.queueT, now)
+	s.queueY = append(s.queueY, float64(depth))
+	if plan == nil {
+		return
+	}
+	s.pending = plan
+	// Idle replicas produce no events; if the first in line is idle, stall
+	// it immediately so the rollout is not wedged behind silence.
+	if r := s.replicas[plan.next]; !r.running && !r.stalled {
+		s.beginStall(now, r)
+	}
+}
+
+// start admits queued requests into free slots and launches one decode
+// iteration, routing every active token to obtain the iteration's dispatch
+// locality under the replica's current placement.
+func (s *server) start(now float64, r *replica) {
+	if r.stalled || r.running {
+		return
+	}
+	gpus := s.opts.Topo.TotalGPUs()
+	for len(r.active) < s.opts.MaxBatch && len(r.queue) > 0 {
+		rq := r.queue[0]
+		r.queue = r.queue[1:]
+		rq.home = r.admits % gpus
+		r.admits++
+		r.active = append(r.active, rq)
+	}
+	if len(r.active) == 0 {
+		return
+	}
+	layers := s.opts.Kernel.Layers
+	path := make([]int, layers)
+	same, node, cross := 0, 0, 0
+	for _, rq := range r.active {
+		router := s.routers[rq.phase]
+		id := s.opts.Phases[rq.phase].Dataset.TokenID(tokenOrdinalBase + s.ordinal)
+		s.ordinal++
+		prev := -1
+		for j := 0; j < layers; j++ {
+			experts := router.Route(j, id, prev, nil)
+			path[j] = experts[0]
+			prev = experts[0]
+		}
+		s.window.Push(path)
+		at := rq.home
+		for j := 0; j < layers; j++ {
+			owner := r.pl.GPUOf(j, path[j])
+			switch s.opts.Topo.Classify(at, owner) {
+			case topo.SameGPU:
+				same++
+			case topo.SameNode:
+				node++
+			default:
+				cross++
+			}
+			at = owner
+		}
+	}
+	total := float64(same + node + cross)
+	dt := s.opts.Cost.Time(len(r.active), float64(node)/total, float64(cross)/total)
+	s.fracT = append(s.fracT, now)
+	s.fracY = append(s.fracY, float64(cross)/total)
+	s.iterations++
+	s.batchTotal += len(r.active)
+	r.running = true
+	s.seq++
+	heap.Push(&s.events, event{t: now + dt, kind: evIterEnd, rep: r.id, seq: s.seq})
+}

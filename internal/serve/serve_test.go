@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/synth"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// testSystem builds a serving system without the engine: kernel, staged
+// placement from a pile profile, and a hand-set locality cost model of
+// engine-like magnitude.
+func testSystem(t *testing.T) (Options, *synth.DatasetProfile) {
+	t.Helper()
+	tp := topo.ForGPUs(8) // 2 nodes x 4 GPUs
+	k := synth.NewKernel(synth.KernelParams{
+		Seed: 0xBEEF, Layers: 12, Experts: 32, Strength: 0.85, DomainTilt: 8,
+	})
+	pile := synth.Pile()
+	tr := trace.Collect(synth.NewKernelRouter(k, pile, 1), k.Layers, trace.SequentialIDs(2500, pile.TokenID))
+	counts := tr.AllTransitionCounts()
+	pl := placement.Staged(counts, k.Layers, k.Experts, tp, 5)
+	cost := workload.LocalityModel{Fixed: 500e-6, PerToken: 5e-6, PerNodeHop: 1e-6, PerCrossHop: 4e-6}
+	opts := Options{
+		Topo:           tp,
+		Kernel:         k,
+		Placement:      pl,
+		BaselineCounts: counts,
+		Cost:           cost,
+		ExpertBytes:    16 << 20,
+		Replicas:       2,
+		MaxBatch:       32,
+		DecodeTokens:   16,
+		Window:         2048,
+		// The fixture's pooled sample mass (2048 paths x 11 layer pairs) puts
+		// the JS noise floor near 0.011 and the drifted signal near 0.05.
+		DriftThreshold: 0.02,
+		Seed:           9,
+	}
+	drifted := synth.Custom("drifted", []float64{0, 0, 0, 0, 1, 0}, 0xD81F)
+	return opts, drifted
+}
+
+// nearKneeRate returns a request rate at the given fraction of the fleet's
+// modeled capacity.
+func nearKneeRate(o Options, frac, fracNode, fracCross float64) float64 {
+	perReplica := float64(o.MaxBatch) / o.Cost.Time(o.MaxBatch, fracNode, fracCross)
+	return frac * perReplica * float64(o.Replicas) / float64(o.DecodeTokens)
+}
+
+// driftProgram is the shared two-phase traffic program.
+func driftProgram(o Options, drifted *synth.DatasetProfile) []Phase {
+	rate := nearKneeRate(o, 0.95, 0.2, 0.5)
+	return []Phase{
+		{Name: "warm", Duration: 3, Rate: rate, Dataset: synth.Pile()},
+		{Name: "drift", Duration: 6, Rate: rate, Dataset: drifted},
+	}
+}
+
+func TestServeDeterministicReplay(t *testing.T) {
+	opts, drifted := testSystem(t)
+	opts.Adaptive = true
+	opts.Phases = driftProgram(opts, drifted)
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests != b.Requests || a.Makespan != b.Makespan || a.Iterations != b.Iterations {
+		t.Fatalf("replay diverged: %d/%v/%d vs %d/%v/%d",
+			a.Requests, a.Makespan, a.Iterations, b.Requests, b.Makespan, b.Iterations)
+	}
+	for i := range a.Phases {
+		if a.Phases[i].P95 != b.Phases[i].P95 || a.Phases[i].P99 != b.Phases[i].P99 {
+			t.Fatalf("phase %d percentiles diverged", i)
+		}
+	}
+	if len(a.Migrations) != len(b.Migrations) {
+		t.Fatalf("migration count diverged: %d vs %d", len(a.Migrations), len(b.Migrations))
+	}
+	for i := range a.Migrations {
+		if a.Migrations[i] != b.Migrations[i] {
+			t.Fatalf("migration %d diverged: %+v vs %+v", i, a.Migrations[i], b.Migrations[i])
+		}
+	}
+}
+
+func TestServeQuietInDistribution(t *testing.T) {
+	opts, _ := testSystem(t)
+	opts.Adaptive = true
+	rate := nearKneeRate(opts, 0.8, 0.2, 0.5)
+	opts.Phases = []Phase{{Name: "steady", Duration: 6, Rate: rate, Dataset: synth.Pile()}}
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Migrations) != 0 {
+		t.Fatalf("in-distribution traffic must not trigger re-placement, got %d", len(rep.Migrations))
+	}
+	if rep.Drift.Len() == 0 {
+		t.Fatal("drift series missing")
+	}
+	if max := maxY(rep.Drift); max > 0.02 {
+		t.Fatalf("in-distribution drift score %v above threshold", max)
+	}
+	if rep.Overall.Requests != rep.Requests || rep.Requests == 0 {
+		t.Fatalf("request accounting wrong: %d vs %d", rep.Overall.Requests, rep.Requests)
+	}
+}
+
+func TestServeAdaptiveRecoversUnderDrift(t *testing.T) {
+	opts, drifted := testSystem(t)
+	opts.Phases = driftProgram(opts, drifted)
+
+	opts.Adaptive = false
+	static, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Adaptive = true
+	adaptive, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(static.Migrations) != 0 {
+		t.Fatal("static server must never migrate")
+	}
+	if len(adaptive.Migrations) == 0 {
+		t.Fatal("adaptive server should have re-placed under drift")
+	}
+	mig := adaptive.Migrations[0]
+	if mig.Time < 3 {
+		t.Fatalf("migration at %v fired before the drift began", mig.Time)
+	}
+	if mig.Seconds <= 0 || mig.Moves == 0 {
+		t.Fatalf("migration should cost something: %+v", mig)
+	}
+
+	// After recovery the adaptive fleet's cross-node fraction must sit below
+	// the static fleet's, and its tail latency must be no worse.
+	tail0, tail1 := mig.Completed+1, 9.0
+	if avgIn(adaptive.CrossFrac, tail0, tail1) >= avgIn(static.CrossFrac, tail0, tail1) {
+		t.Fatalf("re-placement did not reduce live cross-node dispatch: %v vs %v",
+			avgIn(adaptive.CrossFrac, tail0, tail1), avgIn(static.CrossFrac, tail0, tail1))
+	}
+	at, st := adaptive.WindowStats(tail0, tail1), static.WindowStats(tail0, tail1)
+	if at.Requests == 0 || st.Requests == 0 {
+		t.Fatal("tail windows empty")
+	}
+	if at.P95 > st.P95 {
+		t.Fatalf("adaptive tail P95 %v worse than static %v", at.P95, st.P95)
+	}
+	// The parameter-copy pause must be visible: the window spanning the
+	// migration shows a higher P95 than the warm phase.
+	pause := adaptive.WindowStats(mig.Time-0.5, mig.Completed+0.5)
+	if pause.P95 <= adaptive.Phases[0].P95 {
+		t.Fatalf("migration pause invisible: %v vs warm %v", pause.P95, adaptive.Phases[0].P95)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("empty options must fail")
+	}
+	opts, _ := testSystem(t)
+	opts.Phases = []Phase{{Name: "bad", Duration: 1, Rate: 0, Dataset: synth.Pile()}}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("zero-rate phase must fail")
+	}
+	opts, _ = testSystem(t)
+	opts.Phases = []Phase{{Name: "ok", Duration: 1, Rate: 10, Dataset: synth.Pile()}}
+	opts.ExpertBytes = 0
+	if _, err := Run(opts); err == nil {
+		t.Fatal("missing expert bytes must fail")
+	}
+}
+
+func TestArrivalProcessesMeanRate(t *testing.T) {
+	for _, kind := range []ArrivalKind{Poisson, Bursty, Diurnal} {
+		p := Phase{Name: kind.String(), Duration: 50, Rate: 200, Kind: kind, Dataset: synth.Pile()}
+		// The on/off process has heavy per-seed variance; average a few
+		// independent streams to test the long-run rate.
+		total := 0
+		for seed := uint64(1); seed <= 5; seed++ {
+			times := generateArrivals(rngFor(seed), p, 0)
+			total += len(times)
+			for i := 1; i < len(times); i++ {
+				if times[i] < times[i-1] {
+					t.Fatalf("%s: arrivals not sorted", kind)
+				}
+			}
+			if len(times) > 0 && times[len(times)-1] >= p.Duration {
+				t.Fatalf("%s: arrival beyond phase end", kind)
+			}
+		}
+		got := float64(total) / (5 * p.Duration)
+		if math.Abs(got-p.Rate)/p.Rate > 0.2 {
+			t.Fatalf("%s: mean rate %v too far from %v", kind, got, p.Rate)
+		}
+	}
+}
+
+// Helpers.
+
+func rngFor(seed uint64) *rng.RNG { return rng.New(rng.Mix64(seed, 0xA881)) }
+
+func maxY(s *stats.Series) float64 {
+	m := 0.0
+	for _, y := range s.Y {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+func avgIn(s *stats.Series, t0, t1 float64) float64 {
+	sum, n := 0.0, 0
+	for i, x := range s.X {
+		if x >= t0 && x < t1 {
+			sum += s.Y[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}

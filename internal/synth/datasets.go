@@ -45,6 +45,18 @@ func Yelp() *DatasetProfile {
 	return &DatasetProfile{Name: "yelp", Mix: []float64{0.05, 0.08, 0.07, 0.10, 0.15, 0.55}, seed: 0x4E1B}
 }
 
+// Custom builds a user-defined dataset profile — e.g. a synthetic drifted
+// corpus for online-serving experiments. The mix length must match the
+// routing kernel's domain count (standardDomains for the built-in kernels);
+// seed namespaces the profile's token identities away from the built-ins.
+func Custom(name string, mix []float64, seed uint64) *DatasetProfile {
+	d := &DatasetProfile{Name: name, Mix: append([]float64(nil), mix...), seed: seed}
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
 // AllDatasets returns the four built-in profiles, Pile first.
 func AllDatasets() []*DatasetProfile {
 	return []*DatasetProfile{Pile(), C4(), Dolma(), Yelp()}

@@ -50,6 +50,13 @@ type KernelParams struct {
 	// SpikyAlpha is the Dirichlet concentration of the spiky row component;
 	// smaller is spikier. Default 0.15.
 	SpikyAlpha float64
+	// DomainTilt scales the spread of the per-domain expert preferences.
+	// 1 (the default, also selected by 0) reproduces the mild tilt that
+	// makes affinity transfer across datasets (paper Table III); larger
+	// values model more domain-specialized checkpoints, whose routing — and
+	// hence whose optimal placement — genuinely shifts when the serving
+	// traffic's domain mixture drifts.
+	DomainTilt float64
 	// ActiveExperts restricts routing to the first ActiveExperts experts
 	// (used by the training-evolution model to reproduce early-training
 	// expert collapse). Zero means all experts are active.
@@ -69,6 +76,9 @@ func NewKernel(p KernelParams) *Kernel {
 	}
 	if p.SpikyAlpha <= 0 {
 		p.SpikyAlpha = 0.15
+	}
+	if p.DomainTilt <= 0 {
+		p.DomainTilt = 1
 	}
 	active := p.ActiveExperts
 	if active <= 0 || active > p.Experts {
@@ -108,9 +118,10 @@ func NewKernel(p KernelParams) *Kernel {
 		pref := make([]float64, p.Experts)
 		draw := r.Dirichlet(active, 1.2)
 		for e := 0; e < active; e++ {
-			// Tilt factors in [0.6, 0.6 + 0.8*E*p]; mean 1.4-ish keeps the
-			// tilt mild so the backbone dominates.
-			pref[e] = 0.6 + 0.8*float64(active)*draw[e]
+			// Tilt factors in [0.6, 0.6 + 0.8*DomainTilt*E*p]; at the default
+			// tilt the mean is 1.4-ish, mild enough that the backbone
+			// dominates.
+			pref[e] = 0.6 + 0.8*p.DomainTilt*float64(active)*draw[e]
 		}
 		k.domPref[d] = pref
 	}

@@ -33,10 +33,15 @@ func (m IterationModel) Time(n int) float64 {
 }
 
 // FitIterationModel fits the linear model through two measurements
-// (batch size, per-iteration seconds). The batch sizes must differ.
+// (batch size, per-iteration seconds). The batch sizes must differ and the
+// measured times must be positive — a zero measurement would fit a model
+// under which iterations are free and every queue is infinitely fast.
 func FitIterationModel(n1 int, t1 float64, n2 int, t2 float64) (IterationModel, error) {
 	if n1 == n2 {
 		return IterationModel{}, fmt.Errorf("workload: need two distinct batch sizes")
+	}
+	if t1 <= 0 || t2 <= 0 {
+		return IterationModel{}, fmt.Errorf("workload: non-positive iteration measurement (t1=%v t2=%v)", t1, t2)
 	}
 	per := (t2 - t1) / float64(n2-n1)
 	fixed := t1 - per*float64(n1)

@@ -1,0 +1,292 @@
+package exflow
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/placement"
+	"repro/internal/serve"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ServePhase describes one era of offered traffic for Serve.
+type ServePhase struct {
+	// Name labels the phase in the report (default "phaseN").
+	Name string
+	// Duration is the phase length in simulated seconds.
+	Duration float64
+	// Rate is the mean request arrival rate in requests/second; zero means
+	// ServeOptions.LoadFrac times the calibrated fleet capacity.
+	Rate float64
+	// Arrival selects the process: "poisson" (default), "bursty", "diurnal".
+	Arrival string
+	// Dataset is the token domain profile requests draw from; nil means the
+	// system's profiling dataset (no drift).
+	Dataset *synth.DatasetProfile
+}
+
+// ServeOptions configures Serve.
+type ServeOptions struct {
+	// Replicas is the number of expert-parallel replicas (default 2).
+	Replicas int
+	// MaxBatch is each replica's continuous-batching slot limit (default
+	// 4 * GPUs).
+	MaxBatch int
+	// DecodeTokens is the per-request decode length (default 32).
+	DecodeTokens int
+	// ProfileTokens sizes the offline profiling trace that seeds both the
+	// initial placement and the drift baseline (default 3000).
+	ProfileTokens int
+	// LoadFrac sets phase rates left at zero, as a fraction of the fleet's
+	// calibrated token capacity (default 0.9 — near the knee, where placement
+	// quality matters most).
+	LoadFrac float64
+	// CalibIters is the decode-iteration count of each calibration engine
+	// run (default 3).
+	CalibIters int
+	// Phases is the traffic program; empty means one 30-second in-distribution
+	// Poisson phase.
+	Phases []ServePhase
+
+	// Adaptive enables online re-placement; false serves the static
+	// offline placement forever (the paper's deployment model).
+	Adaptive bool
+	// Window, CheckInterval, Patience, Cooldown, MinGain tune the drift
+	// detector and controller; zero values take the serve package defaults.
+	// DriftThreshold zero is auto-calibrated to 3x the in-distribution
+	// sampling-noise floor measured on a held-out profiling slice.
+	Window         int
+	CheckInterval  float64
+	DriftThreshold float64
+	Patience       int
+	Cooldown       float64
+	MinGain        float64
+	// LatencyBucket is the report time-bucket width in seconds (0 = auto).
+	LatencyBucket float64
+	// Calibration, when set, reuses offline artifacts from a previous
+	// CalibrateServe call instead of re-profiling and re-running the engine —
+	// the static-vs-adaptive comparisons share one calibration this way.
+	Calibration *ServeCalibration
+	// Seed overrides the system seed for the serving run (0 = system seed).
+	Seed uint64
+}
+
+// ServeReport is the outcome of a serving run (see internal/serve.Report).
+type ServeReport = serve.Report
+
+// ServeMetrics bundles what Serve derived before simulating: the fitted
+// iteration-cost model and the capacity planning numbers.
+type ServeMetrics struct {
+	Cost workload.LocalityModel
+	// TokenCapacity is one replica's asymptotic decode tokens/second at full
+	// batch under the initial placement's locality.
+	TokenCapacity float64
+	// RequestCapacity is the fleet-wide request/second capacity at
+	// DecodeTokens per request.
+	RequestCapacity float64
+	// FracNode / FracCross are the initial placement's dispatch fractions
+	// measured during calibration.
+	FracNode, FracCross float64
+}
+
+// Serve runs the online serving subsystem on top of a System: it profiles
+// the model, solves the initial ExFlow placement, fits the locality-aware
+// iteration-cost model from real engine runs, and then drives the
+// multi-replica continuous-batching simulation — with live routing-drift
+// detection and (when opts.Adaptive) background expert re-placement.
+func Serve(sys *System, opts ServeOptions) (*ServeReport, *ServeMetrics, error) {
+	opts = opts.withDefaults(sys)
+	seed := opts.Seed
+	if seed == 0 {
+		seed = sys.Seed
+	}
+
+	// Resolve the traffic program first: a malformed phase should fail fast,
+	// before the expensive engine calibration runs. Zero rates are filled in
+	// after calibration, once the capacity knee is known.
+	phases := opts.Phases
+	if len(phases) == 0 {
+		phases = []ServePhase{{Name: "steady", Duration: 30}}
+	}
+	var sphases []serve.Phase
+	for i, p := range phases {
+		kind, err := serve.ParseArrivalKind(p.Arrival)
+		if err != nil {
+			return nil, nil, err
+		}
+		ds := p.Dataset
+		if ds == nil {
+			ds = sys.Dataset
+		}
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("phase%d", i)
+		}
+		sphases = append(sphases, serve.Phase{
+			Name: name, Duration: p.Duration, Rate: p.Rate, Kind: kind, Dataset: ds,
+		})
+	}
+
+	cal := opts.Calibration
+	if cal == nil {
+		var err error
+		if cal, err = CalibrateServe(sys, opts); err != nil {
+			return nil, nil, err
+		}
+	}
+	met := cal.Metrics
+
+	for i := range sphases {
+		if sphases[i].Rate == 0 {
+			sphases[i].Rate = opts.LoadFrac * met.RequestCapacity
+		}
+	}
+
+	rep, err := serve.Run(serve.Options{
+		Topo:           sys.Topo,
+		Kernel:         sys.Kernel,
+		TopK:           sys.Model.Cfg.TopK,
+		Placement:      cal.Placement,
+		BaselineCounts: cal.Trace.AllTransitionCounts(),
+		Cost:           met.Cost,
+		ExpertBytes:    int(sys.Model.Cfg.ExpertParams()) * 2, // fp16
+		Replicas:       opts.Replicas,
+		MaxBatch:       opts.MaxBatch,
+		DecodeTokens:   opts.DecodeTokens,
+		Phases:         sphases,
+		Adaptive:       opts.Adaptive,
+		Window:         opts.Window,
+		CheckInterval:  opts.CheckInterval,
+		DriftThreshold: cal.DriftThreshold,
+		Patience:       opts.Patience,
+		Cooldown:       opts.Cooldown,
+		MinGain:        opts.MinGain,
+		LatencyBucket:  opts.LatencyBucket,
+		Seed:           seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	m := met
+	return rep, &m, nil
+}
+
+// ServeCalibration bundles the offline artifacts Serve needs before it can
+// simulate: the profiling trace, the initial placement solved from it, the
+// engine-fit cost model, and the resolved drift threshold. Compute it once
+// with CalibrateServe and pass it via ServeOptions.Calibration to share
+// across runs (e.g. a static-vs-adaptive comparison), halving the dominant
+// engine-calibration cost.
+type ServeCalibration struct {
+	Trace          *trace.Trace
+	Placement      *placement.Placement
+	Metrics        ServeMetrics
+	DriftThreshold float64
+}
+
+// CalibrateServe profiles the system, solves the initial placement, fits
+// the locality-aware iteration-cost model from real engine runs, and
+// resolves the drift threshold.
+func CalibrateServe(sys *System, opts ServeOptions) (*ServeCalibration, error) {
+	opts = opts.withDefaults(sys)
+	tr := sys.Profile(opts.ProfileTokens)
+	pl := sys.SolvePlacement(tr)
+
+	threshold := opts.DriftThreshold
+	if threshold == 0 {
+		threshold = calibrateDriftThreshold(sys, tr, opts.Window)
+	}
+
+	cost, fracNode, fracCross, err := fitLocalityModel(sys, pl, opts.CalibIters)
+	if err != nil {
+		return nil, fmt.Errorf("exflow: serve calibration failed: %w", err)
+	}
+	met := ServeMetrics{Cost: cost, FracNode: fracNode, FracCross: fracCross}
+	met.TokenCapacity = float64(opts.MaxBatch) / cost.Time(opts.MaxBatch, fracNode, fracCross)
+	met.RequestCapacity = met.TokenCapacity * float64(opts.Replicas) / float64(opts.DecodeTokens)
+	return &ServeCalibration{Trace: tr, Placement: pl, Metrics: met, DriftThreshold: threshold}, nil
+}
+
+// withDefaults resolves the option defaults Serve and CalibrateServe share.
+func (o ServeOptions) withDefaults(sys *System) ServeOptions {
+	if o.ProfileTokens == 0 {
+		o.ProfileTokens = 3000
+	}
+	if o.LoadFrac == 0 {
+		o.LoadFrac = 0.9
+	}
+	if o.DecodeTokens == 0 {
+		o.DecodeTokens = 32
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 4 * sys.Topo.TotalGPUs()
+	}
+	if o.CalibIters == 0 {
+		o.CalibIters = 3
+	}
+	if o.Replicas == 0 {
+		o.Replicas = serve.DefaultReplicas
+	}
+	if o.Window == 0 {
+		o.Window = serve.DefaultWindow
+	}
+	return o
+}
+
+// calibrateDriftThreshold bootstraps the detector threshold from the model
+// itself: it scores a held-out, window-sized slice of in-distribution
+// traffic against the profiling baseline — pure sampling noise — and sets
+// the threshold at three times that floor. This keeps the detector quiet on
+// the profiled distribution while firing on genuine mixture shift, whatever
+// the window size, layer count, and expert count imply for the noise scale.
+func calibrateDriftThreshold(sys *System, tr *trace.Trace, window int) float64 {
+	held := sys.ProfileOn(sys.Dataset, window, 1<<21)
+	experts := sys.Model.Cfg.Experts
+	noise := serve.Divergence(serve.JS,
+		serve.Pool(tr.AllTransitionCounts(), experts),
+		serve.Pool(held.AllTransitionCounts(), experts))
+	return 3 * noise
+}
+
+// fitLocalityModel measures the engine at three placements of different
+// dispatch locality (contiguous, random, affinity-staged), two batch sizes
+// each, and least-squares fits the locality-aware iteration-cost model. It
+// returns the model plus the staged placement's measured dispatch fractions.
+func fitLocalityModel(sys *System, staged *placement.Placement, iters int) (workload.LocalityModel, float64, float64, error) {
+	cfg := sys.Model.Cfg
+	gpus := sys.Topo.TotalGPUs()
+	placements := []struct {
+		pl   *placement.Placement
+		mode engine.Mode
+	}{
+		{sys.Baseline(), engine.ContextCoherent},
+		{placement.Random(cfg.Layers, cfg.Experts, gpus, sys.Seed+0xBAD), engine.ContextCoherent},
+		{staged, engine.ExFlow},
+	}
+	var points []workload.LocalityPoint
+	var fracNode, fracCross float64
+	for pi, p := range placements {
+		for _, perGPU := range []int{2, 8} {
+			rep := sys.Run(p.mode, p.pl, Workload{RequestsPerGPU: perGPU, PromptLen: 8, GenerateTokens: iters})
+			total := rep.DispatchSameGPU + rep.DispatchSameNode + rep.DispatchCrossNode
+			if total == 0 {
+				return workload.LocalityModel{}, 0, 0, fmt.Errorf("calibration run produced no dispatches")
+			}
+			fn := float64(rep.DispatchSameNode) / float64(total)
+			fc := float64(rep.DispatchCrossNode) / float64(total)
+			points = append(points, workload.LocalityPoint{
+				Batch:     perGPU * gpus,
+				FracNode:  fn,
+				FracCross: fc,
+				Seconds:   (rep.SimSeconds - rep.Breakdown["prefill"]) / float64(iters),
+			})
+			if pi == len(placements)-1 {
+				fracNode, fracCross = fn, fc
+			}
+		}
+	}
+	m, err := workload.FitLocalityModel(points)
+	return m, fracNode, fracCross, err
+}
