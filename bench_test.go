@@ -247,3 +247,44 @@ func BenchmarkInferenceIteration16GPU(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkExpertMemory(b *testing.B) {
+	runExperimentBench(b, "expert_memory", func(r *Result) (string, float64) {
+		// 2x-oversubscription P95 of LRU over affinity-prefetch (>1 means
+		// the affinity oracle is paying off).
+		var lru, aff float64
+		if len(r.Tables) >= 2 {
+			for _, s := range r.Tables[1].SeriesL {
+				for i, x := range s.X {
+					if x == 2 {
+						switch s.Name {
+						case "lru":
+							lru = s.Y[i]
+						case "affinity":
+							aff = s.Y[i]
+						}
+					}
+				}
+			}
+		}
+		if aff == 0 {
+			return "p95-ratio-2x", 0
+		}
+		return "p95-ratio-2x", lru / aff
+	})
+}
+
+func BenchmarkOversubscribedIteration(b *testing.B) {
+	cfg := moe.GPTM(32)
+	cfg.Layers = 12
+	sys := NewSystem(SystemOptions{Model: cfg, GPUs: 8, Seed: 1})
+	pl := sys.SolvePlacement(sys.Profile(1000))
+	w := Workload{RequestsPerGPU: 4, PromptLen: 8, GenerateTokens: 2, Oversubscription: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := sys.Run(engine.ExFlow, pl, w)
+		if i == 0 {
+			b.ReportMetric(rep.ExpertMem.HitRate(), "hit-rate")
+		}
+	}
+}

@@ -6,12 +6,20 @@
 //	exflow-serve                    # steady in-distribution serving
 //	exflow-serve -drift             # mid-run dataset drift: static vs adaptive
 //	exflow-serve -drift -arrival bursty -load 0.95 -gpus 32
+//	exflow-serve -oversub           # tiered expert memory: policy x ratio sweep
 //
 // With -drift the command serves the same two-phase traffic program twice —
 // once with the static offline ExFlow placement and once with the adaptive
 // controller — and reports how much of the static fleet's P95 regression the
 // adaptive fleet recovers. A machine-readable summary is written to the
 // -json path (default BENCH_serve.json, "-" for stdout only).
+//
+// With -oversub the command instead serves the same steady traffic under
+// tiered expert-weight memory (internal/expertmem) at oversubscription
+// ratios 1x/1.5x/2x/4x for every cache policy (lru, lfu, pin, affinity;
+// 1x runs once since every expert is resident and the policy cannot act),
+// each ratio provisioned at 70% of its own probed capacity, plus a
+// memory-disabled baseline. The summary lands in BENCH_expertmem.json.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/expertmem"
 	"repro/internal/moe"
 	"repro/internal/stats"
 )
@@ -96,20 +105,22 @@ func toRunJSON(rep *exflow.ServeReport, t0, t1 float64) *runJSON {
 
 func main() {
 	var (
-		model    = flag.String("model", "gptm-32", "model preset: gptm-8/16/32/64, gptm-32l, gptm-40l, gptxl")
-		layers   = flag.Int("layers", 16, "MoE layer count override; the 16-layer default keeps the demo fast — pass 0 to use the model preset's full depth")
-		gpus     = flag.Int("gpus", 16, "expert-parallel group size per replica")
-		replicas = flag.Int("replicas", 2, "replica count behind the front-end")
-		drift    = flag.Bool("drift", false, "inject a mid-run dataset drift and compare static vs adaptive")
-		arrival  = flag.String("arrival", "poisson", "arrival process: poisson | bursty | diurnal")
-		load     = flag.Float64("load", 0.97, "offered load as a fraction of the calibrated capacity knee")
-		warm     = flag.Float64("warm", 20, "seconds of in-distribution traffic")
-		duration = flag.Float64("duration", 40, "seconds of the main (drifted, with -drift) traffic era")
-		decode   = flag.Int("decode", 32, "decode tokens per request")
-		tilt     = flag.Float64("tilt", 8, "domain specialization of the checkpoint (1 = paper-faithful mild tilt)")
-		strength = flag.Float64("strength", 0.85, "synthetic affinity strength")
-		seed     = flag.Uint64("seed", 7, "deterministic seed")
-		jsonPath = flag.String("json", "BENCH_serve.json", "machine-readable summary path ('-' to skip the file)")
+		model     = flag.String("model", "gptm-32", "model preset: gptm-8/16/32/64, gptm-32l, gptm-40l, gptxl")
+		layers    = flag.Int("layers", 16, "MoE layer count override; the 16-layer default keeps the demo fast — pass 0 to use the model preset's full depth")
+		gpus      = flag.Int("gpus", 16, "expert-parallel group size per replica")
+		replicas  = flag.Int("replicas", 2, "replica count behind the front-end")
+		drift     = flag.Bool("drift", false, "inject a mid-run dataset drift and compare static vs adaptive")
+		oversub   = flag.Bool("oversub", false, "sweep tiered expert-weight memory: cache policies x oversubscription ratios, write BENCH_expertmem.json")
+		hostSlots = flag.Int("hostslots", 0, "with -oversub: bound host-DRAM expert master copies per replica; coldest experts fall to NVMe (0 = all fit in DRAM)")
+		arrival   = flag.String("arrival", "poisson", "arrival process: poisson | bursty | diurnal")
+		load      = flag.Float64("load", 0.97, "offered load as a fraction of the calibrated capacity knee")
+		warm      = flag.Float64("warm", 20, "seconds of in-distribution traffic")
+		duration  = flag.Float64("duration", 40, "seconds of the main (drifted, with -drift) traffic era")
+		decode    = flag.Int("decode", 32, "decode tokens per request")
+		tilt      = flag.Float64("tilt", 8, "domain specialization of the checkpoint (1 = paper-faithful mild tilt)")
+		strength  = flag.Float64("strength", 0.85, "synthetic affinity strength")
+		seed      = flag.Uint64("seed", 7, "deterministic seed")
+		jsonPath  = flag.String("json", "BENCH_serve.json", "machine-readable summary path ('-' to skip the file)")
 	)
 	flag.Parse()
 
@@ -125,6 +136,29 @@ func main() {
 	sys := exflow.NewSystem(exflow.SystemOptions{
 		Model: cfg, GPUs: *gpus, AffinityStrength: *strength, DomainTilt: *tilt, Seed: *seed,
 	})
+	if *oversub {
+		// Two flags have oversub-specific defaults but honor explicit
+		// values: -json defaults to BENCH_expertmem.json (not the drift
+		// demo's file), and -load defaults to 0.7 because its 0.97 default
+		// targets the 1x knee and would pin every oversubscribed run
+		// against its capacity estimate's noise.
+		path := "BENCH_expertmem.json"
+		provision := 0.7
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "json":
+				path = *jsonPath
+			case "load":
+				provision = *load
+			}
+		})
+		runOversubSweep(sys, cfg, oversubConfig{
+			gpus: *gpus, replicas: *replicas, decode: *decode, hostSlots: *hostSlots,
+			seed: *seed, dur: *warm + *duration, arrival: *arrival, provision: provision,
+			jsonPath: path,
+		})
+		return
+	}
 	fmt.Printf("serving %s x%d replicas, %s arrivals at %.0f%% of capacity\n",
 		cfg.String(), *replicas, *arrival, *load*100)
 
@@ -238,4 +272,183 @@ func addSeries(tb *stats.Table, s *stats.Series, name string) {
 	c := tb.NewSeries(name)
 	c.X = append(c.X, s.X...)
 	c.Y = append(c.Y, s.Y...)
+}
+
+// memRunJSON is one cell of the oversubscription sweep.
+type memRunJSON struct {
+	Ratio            float64 `json:"oversubscription"`
+	Policy           string  `json:"policy"`
+	OfferedRPS       float64 `json:"offered_req_per_sec"`
+	HitRate          float64 `json:"hit_rate"`
+	LateHits         int     `json:"late_hits"`
+	Misses           int     `json:"misses"`
+	Prefetches       int     `json:"prefetches"`
+	PrefetchHits     int     `json:"prefetch_hits"`
+	WastedPrefetches int     `json:"wasted_prefetches"`
+	StallPerToken    float64 `json:"clock_stall_s_per_token"`
+	AccessStallTotal float64 `json:"access_stall_s_total"`
+	P50              float64 `json:"p50_s"`
+	P95              float64 `json:"p95_s"`
+	P99              float64 `json:"p99_s"`
+	Throughput       float64 `json:"tokens_per_sec"`
+}
+
+// memSummaryJSON is the BENCH_expertmem.json shape.
+type memSummaryJSON struct {
+	Model           string  `json:"model"`
+	Layers          int     `json:"layers"`
+	GPUs            int     `json:"gpus"`
+	Replicas        int     `json:"replicas"`
+	Seed            uint64  `json:"seed"`
+	Arrival         string  `json:"arrival"`
+	Provision       float64 `json:"provision_frac"`
+	ExpertMB        float64 `json:"expert_mb"`
+	WeightsPerGPUGB float64 `json:"expert_weights_per_gpu_gb"`
+	HBMPerGPUGB     float64 `json:"hbm_per_gpu_gb"`
+	DisabledP95     float64 `json:"memory_disabled_p95_s"`
+
+	Runs []memRunJSON `json:"runs"`
+
+	Acceptance struct {
+		OneXMatchesDisabled  bool    `json:"one_x_matches_disabled_exactly"`
+		OneXP95DeltaSeconds  float64 `json:"one_x_p95_delta_s"`
+		Affinity2xHitRate    float64 `json:"affinity_2x_hit_rate"`
+		LRU2xHitRate         float64 `json:"lru_2x_hit_rate"`
+		Affinity2xP95        float64 `json:"affinity_2x_p95_s"`
+		LRU2xP95             float64 `json:"lru_2x_p95_s"`
+		AffinityBeatsLRUAt2x bool    `json:"affinity_beats_lru_at_2x"`
+	} `json:"acceptance"`
+}
+
+// oversubConfig carries the sweep's knobs from the flag set.
+type oversubConfig struct {
+	gpus, replicas, decode, hostSlots int
+	seed                              uint64
+	dur, provision                    float64
+	arrival, jsonPath                 string
+}
+
+// runOversubSweep serves steady traffic under tiered expert-weight memory
+// for every (cache policy, oversubscription ratio) cell plus a
+// memory-disabled baseline, and writes the machine-readable summary.
+func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
+	gpus, replicas, decode, hostSlots := oc.gpus, oc.replicas, oc.decode, oc.hostSlots
+	seed, dur, jsonPath := oc.seed, oc.dur, oc.jsonPath
+	fmt.Printf("oversubscription sweep: %s on %d GPUs x%d replicas, %.0fs of %s traffic per run at %.0f%% of each ratio's capacity\n",
+		cfg.String(), gpus, replicas, dur, oc.arrival, oc.provision*100)
+	base := exflow.ServeOptions{
+		Replicas:      replicas,
+		DecodeTokens:  decode,
+		HostSlots:     hostSlots,
+		LatencyBucket: dur / 80,
+		Seed:          seed,
+	}
+	cal, err := exflow.CalibrateServe(sys, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+		os.Exit(1)
+	}
+	base.Calibration = cal
+
+	expertBytes := float64(cfg.ExpertParams()) * 2
+	sum := memSummaryJSON{
+		Model: cfg.Name, Layers: cfg.Layers, GPUs: gpus, Replicas: replicas, Seed: seed,
+		Arrival: oc.arrival, Provision: oc.provision,
+		ExpertMB:        expertBytes / (1 << 20),
+		WeightsPerGPUGB: expertBytes * float64(cfg.Layers*cfg.Experts/gpus) / 1e9,
+		HBMPerGPUGB:     float64(sys.Topo.HBMCapacity()) / 1e9,
+	}
+
+	run := func(ratio float64, policy string, rate float64) *exflow.ServeReport {
+		o := base
+		o.Oversubscription = ratio
+		o.CachePolicy = policy
+		o.Phases = []exflow.ServePhase{{Name: "steady", Duration: dur, Rate: rate, Arrival: oc.arrival}}
+		rep, _, err := exflow.Serve(sys, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		return rep
+	}
+
+	baseRate := oc.provision * cal.Metrics.RequestCapacity
+	disabled := run(0, "", baseRate)
+	sum.DisabledP95 = disabled.Overall.P95
+	fmt.Printf("memory disabled: P95 %.4fs at %.1f req/s\n", disabled.Overall.P95, baseRate)
+
+	var oneX, lru2x, aff2x *exflow.ServeReport
+	for _, ratio := range exflow.MemorySweepRatios {
+		rate := baseRate
+		policies := expertmem.PolicyNames()
+		if ratio == 1 {
+			// At 1x every expert is resident, so the policy can never act:
+			// one run stands for all of them.
+			policies = []string{"affinity"}
+		} else {
+			capTok, err := exflow.ProbeMemoryCapacity(sys, base, ratio, dur/2)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+				os.Exit(1)
+			}
+			rate = oc.provision * capTok / float64(decode)
+		}
+		for _, policy := range policies {
+			rep := run(ratio, policy, rate)
+			em := rep.ExpertMem
+			hit := em.HitRate()
+			if em.Accesses == 0 {
+				// No paging happened (1x short-circuit): every access was
+				// resident by construction.
+				hit = 1
+			}
+			sum.Runs = append(sum.Runs, memRunJSON{
+				Ratio: ratio, Policy: policy, OfferedRPS: rate,
+				HitRate: hit, LateHits: em.LateHits, Misses: em.Misses,
+				Prefetches: em.Prefetches, PrefetchHits: em.PrefetchHits, WastedPrefetches: em.WastedPrefetches,
+				StallPerToken: rep.MemStallSeconds / float64(rep.Tokens), AccessStallTotal: em.StallSeconds,
+				P50: rep.Overall.P50, P95: rep.Overall.P95, P99: rep.Overall.P99,
+				Throughput: rep.Overall.Throughput,
+			})
+			fmt.Printf("  %.1fx %-8s hit %5.1f%%  P95 %8.4fs  stall/token %.3fms  (%.1f req/s offered)\n",
+				ratio, policy, hit*100, rep.Overall.P95, rep.MemStallSeconds/float64(rep.Tokens)*1e3, rate)
+			switch {
+			case ratio == 1 && policy == "affinity":
+				oneX = rep
+			case ratio == 2 && policy == "lru":
+				lru2x = rep
+			case ratio == 2 && policy == "affinity":
+				aff2x = rep
+			}
+		}
+	}
+
+	a := &sum.Acceptance
+	if oneX != nil {
+		a.OneXP95DeltaSeconds = oneX.Overall.P95 - disabled.Overall.P95
+		a.OneXMatchesDisabled = oneX.Overall.P95 == disabled.Overall.P95 && oneX.Makespan == disabled.Makespan
+	}
+	if lru2x != nil && aff2x != nil {
+		a.Affinity2xHitRate = aff2x.ExpertMem.HitRate()
+		a.LRU2xHitRate = lru2x.ExpertMem.HitRate()
+		a.Affinity2xP95 = aff2x.Overall.P95
+		a.LRU2xP95 = lru2x.Overall.P95
+		a.AffinityBeatsLRUAt2x = a.Affinity2xHitRate > a.LRU2xHitRate && a.Affinity2xP95 < a.LRU2xP95
+	}
+	fmt.Printf("\n1x vs disabled: P95 delta %+.6fs (exact match: %v)\n", a.OneXP95DeltaSeconds, a.OneXMatchesDisabled)
+	fmt.Printf("2x acceptance: affinity hit %.1f%% vs lru %.1f%%, P95 %.4fs vs %.4fs -> beats lru: %v\n",
+		a.Affinity2xHitRate*100, a.LRU2xHitRate*100, a.Affinity2xP95, a.LRU2xP95, a.AffinityBeatsLRUAt2x)
+
+	if jsonPath != "-" {
+		blob, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/expertmem"
 	"repro/internal/moe"
 	"repro/internal/placement"
 	"repro/internal/rng"
@@ -150,6 +151,17 @@ type Workload struct {
 	CapacityFactor float64
 	// Hierarchical routes dispatch Alltoalls through node leaders.
 	Hierarchical bool
+	// Oversubscription, when >= 1, runs the engine under tiered
+	// expert-weight memory (internal/expertmem): each GPU's HBM holds
+	// assigned-experts/ratio weight slots and misses stall the rank for the
+	// host-link fetch. The routing kernel's ground-truth transition rows
+	// serve as the affinity oracle. Zero disables the memory layer.
+	Oversubscription float64
+	// CachePolicy is the residency policy under oversubscription: "lru",
+	// "lfu", "pin", or "affinity" (default). Invalid names panic.
+	CachePolicy string
+	// PrefetchK is the prefetch fan-out (0 means 4; affinity policy only).
+	PrefetchK int
 }
 
 func (w Workload) withDefaults() Workload {
@@ -173,6 +185,33 @@ func (w Workload) withDefaults() Workload {
 func (s *System) Run(mode engine.Mode, pl *placement.Placement, w Workload) *engine.Report {
 	w = w.withDefaults()
 	ds := s.Dataset
+	var memCfg *expertmem.Config
+	if w.Oversubscription > 0 {
+		if w.Oversubscription < 1 {
+			panic(fmt.Sprintf("exflow: Workload.Oversubscription must be 0 (off) or >= 1, got %v", w.Oversubscription))
+		}
+		pol, err := expertmem.ParsePolicy(w.CachePolicy)
+		if err != nil {
+			panic(err)
+		}
+		k := w.PrefetchK
+		if k == 0 {
+			k = 4
+		}
+		cfg := s.Model.Cfg
+		// The kernel's ground-truth transition rows stand in for a profiled
+		// affinity estimate — the engine path has no trace in hand.
+		aff := make([][][]float64, cfg.Layers-1)
+		for l := range aff {
+			aff[l] = make([][]float64, cfg.Experts)
+			for from := range aff[l] {
+				aff[l][from] = s.Kernel.Transition(l, from)
+			}
+		}
+		mc := expertmem.ConfigFor(s.Topo, cfg.Layers, cfg.Experts, int(cfg.ExpertParams())*2, // fp16
+			w.Oversubscription, pol, k, 0, aff)
+		memCfg = &mc
+	}
 	return engine.Run(engine.Config{
 		Model:           s.Model,
 		Router:          s.Router,
@@ -188,7 +227,8 @@ func (s *System) Run(mode engine.Mode, pl *placement.Placement, w Workload) *eng
 		TokenID: func(req, iter int) uint64 {
 			return ds.TokenID(uint64(w.EvalOffset + req*4096 + iter))
 		},
-		Seed: s.Seed,
+		Seed:   s.Seed,
+		Memory: memCfg,
 	})
 }
 

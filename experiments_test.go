@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation_coherence", "ablation_solvers", "ablation_staged", "ablation_replication",
 		"ablation_top2", "ablation_capacity", "ablation_hierarchical",
 		"ablation_learnedgate", "ablation_migration", "serving_latency",
-		"serving_adaptive",
+		"serving_adaptive", "expert_memory",
 	}
 	have := map[string]bool{}
 	for _, id := range Experiments() {

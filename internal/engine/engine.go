@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/collective"
+	"repro/internal/expertmem"
 	"repro/internal/moe"
 	"repro/internal/placement"
 	"repro/internal/rng"
@@ -98,6 +99,15 @@ type Config struct {
 	TokenID func(req, iter int) uint64
 	// Seed feeds workload generation and the default TokenID.
 	Seed uint64
+	// Memory, when non-nil, places the run under tiered expert-weight
+	// memory: each rank's HBM holds at most Memory.SlotsPerGPU expert
+	// weights, a non-resident expert stalls the rank for its host-link
+	// fetch ("expert-stall" in the breakdown), and — under the
+	// affinity-prefetch policy — ranks exchange prefetch hints each layer
+	// so predicted successors are fetched while the current layer computes.
+	// The memory layer only affects the simulated clock, never the math, so
+	// the identical-outputs invariant across modes is preserved.
+	Memory *expertmem.Config
 }
 
 // validate panics on inconsistent configuration (programmer error).
@@ -116,6 +126,12 @@ func (c *Config) validate() {
 	}
 	if c.RequestsPerGPU <= 0 || c.GenerateTokens <= 0 || c.PromptLen < 0 {
 		panic("engine: invalid workload")
+	}
+	if c.Memory != nil {
+		if c.Memory.Layers != c.Model.Cfg.Layers || c.Memory.Experts != c.Model.Cfg.Experts ||
+			c.Memory.GPUs != c.Topo.TotalGPUs() {
+			panic("engine: memory config shape does not match model/topology")
+		}
 	}
 }
 
@@ -239,22 +255,36 @@ func Run(cfg Config) *Report {
 		}
 	}
 
+	// The tiered expert-weight memory is sharded per GPU; every rank only
+	// touches its own shard (demand accesses and received prefetch hints),
+	// so the shared Manager needs no locking and stays deterministic.
+	var mem *expertmem.Manager
+	if cfg.Memory != nil {
+		mem = expertmem.New(*cfg.Memory)
+		mem.Warm(cfg.Placement.Assign)
+	}
+
 	perRank := make([]*rankMetrics, gpus)
 	ranks := cl.Run(func(rk *cluster.Rank) {
 		m := newRankMetrics()
 		perRank[rk.ID] = m
-		runRank(rk, &cfg, reqs, m)
+		runRank(rk, &cfg, reqs, m, mem)
 	})
 
-	return buildReport(&cfg, reqs, ranks, perRank)
+	return buildReport(&cfg, reqs, ranks, perRank, mem)
 }
 
 // runRank is the SPMD body executed by every simulated GPU.
-func runRank(rk *cluster.Rank, cfg *Config, reqs []*request, m *rankMetrics) {
+func runRank(rk *cluster.Rank, cfg *Config, reqs []*request, m *rankMetrics, mem *expertmem.Manager) {
 	mdl := cfg.Model
 	mcfg := mdl.Cfg
 	gpus := rk.Cluster.Size()
 	wire := mcfg.TokenWireBytes()
+	// paging: expert weights may miss HBM and stall; hinting: additionally
+	// exchange affinity-prefetch hints each layer. Both off when every
+	// assigned expert fits (the 1x case costs nothing, not even collectives).
+	paging := mem != nil && mem.Oversubscribed()
+	hinting := paging && mem.Prefetching()
 
 	// --- Prefill ---------------------------------------------------------
 	// Each home rank computes its requests' prompt KV caches. The per-token
@@ -329,9 +359,26 @@ func runRank(rk *cluster.Rank, cfg *Config, reqs []*request, m *rankMetrics) {
 			// 2. Gating: top-k experts and mixture weights per token.
 			rk.Advance("gating", cfg.Cost.GatingTime(mcfg, len(resident)))
 			send := make([][]*expertJob, gpus)
+			// Affinity-prefetch hints for the next layer, keyed by the GPU
+			// that owns the predicted successor expert.
+			var hints [][]int
+			var hinted map[[2]int]bool
+			if hinting && layer+1 < mcfg.Layers {
+				hints = make([][]int, gpus)
+				hinted = make(map[[2]int]bool)
+			}
 			for _, t := range resident {
 				experts, weights := moe.RouteWeights(cfg.Router, layer, t.id, t.prev, t.hidden)
 				t.prev = experts[0]
+				if hints != nil {
+					for _, sc := range mem.Successors(layer, experts[0]) {
+						owner := cfg.Placement.GPUOf(layer+1, sc)
+						if k := [2]int{owner, sc}; !hinted[k] {
+							hinted[k] = true
+							hints[owner] = append(hints[owner], sc)
+						}
+					}
+				}
 				// The combine site: the primary expert's GPU in coherent
 				// modes (the token continues there), the home GPU in
 				// vanilla mode (the context lives there).
@@ -356,12 +403,34 @@ func runRank(rk *cluster.Rank, cfg *Config, reqs []*request, m *rankMetrics) {
 			for _, chunk := range recvJobs {
 				working = append(working, chunk...)
 			}
+			// 3b. Exchange prefetch hints: each rank learns which of its
+			// layer-(l+1) experts the affinity oracle predicts it will need.
+			var hintRecv [][]int
+			if hints != nil {
+				hintRecv = collective.Alltoall(rk, hints, prefetchHintWire, "prefetch-hint")
+			}
 			// 4. Expert FFN on the owner, with capacity enforcement: each
 			// expert serves at most `capacity` jobs, smallest token ids
 			// first (a deterministic rule every mode agrees on); the rest
 			// are dropped and pass through as residual-only.
 			if capacity > 0 {
 				enforceCapacity(working, capacity, m)
+			}
+			// 4a. Page in this layer's expert weights: each distinct expert
+			// with surviving jobs must be HBM-resident before its FFN runs;
+			// misses stall the rank for the (serialized) host-link fetch.
+			// Demand accesses go first so same-instant speculation can never
+			// delay them; then the layer-(l+1) prefetches start, overlapping
+			// this layer's expert compute.
+			if paging {
+				for _, e := range distinctExperts(working) {
+					rk.Advance("expert-stall", mem.Access(rk.ID, layer, e, rk.Now()))
+				}
+			}
+			for _, chunk := range hintRecv {
+				for _, e := range chunk {
+					mem.Prefetch(rk.ID, layer+1, e, rk.Now())
+				}
 			}
 			for _, job := range working {
 				if !job.dropped {
@@ -443,6 +512,24 @@ func addResidualNorm(mdl *moe.Model, x, out []float32) {
 		x[i] += out[i]
 	}
 	mdl.LayerNorm(x)
+}
+
+// prefetchHintWire is the wire size of one prefetch hint (an expert index).
+const prefetchHintWire = 4
+
+// distinctExperts returns the sorted distinct experts among non-dropped
+// jobs — the weights the rank must page in this layer.
+func distinctExperts(jobs []*expertJob) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, j := range jobs {
+		if !j.dropped && !seen[j.expert] {
+			seen[j.expert] = true
+			out = append(out, j.expert)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // dispatchAlltoall selects the flat or hierarchical token-dispatch

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/expertmem"
 	"repro/internal/moe"
 	"repro/internal/placement"
 	"repro/internal/synth"
@@ -212,5 +213,104 @@ func TestReportString(t *testing.T) {
 	s := rep.String()
 	if len(s) == 0 || rep.FracDispatchIntraNode() < rep.FracDispatchLocal() {
 		t.Fatalf("report rendering or locality ordering wrong:\n%s", s)
+	}
+}
+
+// memConfig attaches a tiered expert-memory config at the given
+// oversubscription ratio, with the routing kernel's ground-truth transition
+// rows as the affinity oracle.
+func memConfig(t *testing.T, cfg *Config, oversub float64, policy expertmem.Policy) {
+	t.Helper()
+	mcfg := cfg.Model.Cfg
+	kernel := synth.NewKernel(synth.KernelParams{Seed: 2, Layers: mcfg.Layers, Experts: mcfg.Experts, Strength: 0.85})
+	aff := make([][][]float64, mcfg.Layers-1)
+	for l := range aff {
+		aff[l] = make([][]float64, mcfg.Experts)
+		for from := range aff[l] {
+			aff[l][from] = kernel.Transition(l, from)
+		}
+	}
+	cfg.Memory = &expertmem.Config{
+		Layers: mcfg.Layers, Experts: mcfg.Experts, GPUs: cfg.Topo.TotalGPUs(),
+		ExpertBytes: int(mcfg.ExpertParams()) * 2,
+		SlotsPerGPU: expertmem.SlotsFor(mcfg.Layers, mcfg.Experts, cfg.Topo.TotalGPUs(), oversub),
+		HostLink:    cfg.Topo.HostPath(),
+		NVMeLink:    cfg.Topo.NVMePath(),
+		Policy:      policy,
+		PrefetchK:   4,
+		Affinity:    aff,
+	}
+}
+
+func TestMemoryStallsVisibleAndOutputsUnchanged(t *testing.T) {
+	base := Run(testSetup(t, ExFlow, 8, true))
+
+	over := testSetup(t, ExFlow, 8, true)
+	memConfig(t, &over, 2, expertmem.LRU())
+	rep := Run(over)
+
+	if rep.ExpertMem == nil || rep.ExpertMem.Misses == 0 {
+		t.Fatalf("2x oversubscription produced no misses: %+v", rep.ExpertMem)
+	}
+	if rep.Breakdown["expert-stall"] <= 0 {
+		t.Fatal("expert-miss stalls not charged to the clock")
+	}
+	if rep.SimSeconds <= base.SimSeconds {
+		t.Fatalf("oversubscribed run not slower: %v vs %v", rep.SimSeconds, base.SimSeconds)
+	}
+	// Paging changes when things happen, never what is computed.
+	for r := range base.Outputs {
+		for i := range base.Outputs[r] {
+			if base.Outputs[r][i] != rep.Outputs[r][i] {
+				t.Fatalf("memory layer changed outputs at req %d pos %d", r, i)
+			}
+		}
+	}
+}
+
+func TestMemoryAtOneXAddsNoOverhead(t *testing.T) {
+	base := Run(testSetup(t, ExFlow, 8, true))
+	at1x := testSetup(t, ExFlow, 8, true)
+	memConfig(t, &at1x, 1, expertmem.AffinityPrefetch())
+	rep := Run(at1x)
+	if rep.SimSeconds != base.SimSeconds {
+		t.Fatalf("1x memory layer changed iteration time: %v vs %v", rep.SimSeconds, base.SimSeconds)
+	}
+	if rep.ExpertMem.Misses != 0 || rep.ExpertMem.StallSeconds != 0 {
+		t.Fatalf("1x produced paging activity: %+v", rep.ExpertMem)
+	}
+}
+
+func TestMemoryAffinityPrefetchReducesStalls(t *testing.T) {
+	lru := testSetup(t, ExFlow, 8, true)
+	memConfig(t, &lru, 2, expertmem.LRU())
+	lruRep := Run(lru)
+
+	pf := testSetup(t, ExFlow, 8, true)
+	memConfig(t, &pf, 2, expertmem.AffinityPrefetch())
+	pfRep := Run(pf)
+
+	if pfRep.ExpertMem.Prefetches == 0 || pfRep.ExpertMem.PrefetchHits == 0 {
+		t.Fatalf("prefetcher idle: %+v", pfRep.ExpertMem)
+	}
+	if pfRep.ExpertMem.HitRate() <= lruRep.ExpertMem.HitRate() {
+		t.Fatalf("affinity prefetch hit rate %.3f not above lru %.3f",
+			pfRep.ExpertMem.HitRate(), lruRep.ExpertMem.HitRate())
+	}
+	if pfRep.Breakdown["expert-stall"] >= lruRep.Breakdown["expert-stall"] {
+		t.Fatalf("affinity prefetch stall %v not below lru %v",
+			pfRep.Breakdown["expert-stall"], lruRep.Breakdown["expert-stall"])
+	}
+}
+
+func TestMemoryDeterministicReplay(t *testing.T) {
+	mk := func() *Report {
+		cfg := testSetup(t, ExFlow, 8, true)
+		memConfig(t, &cfg, 2, expertmem.AffinityPrefetch())
+		return Run(cfg)
+	}
+	a, b := mk(), mk()
+	if a.SimSeconds != b.SimSeconds || *a.ExpertMem != *b.ExpertMem {
+		t.Fatalf("memory replay diverged:\n%+v\n%+v", a.ExpertMem, b.ExpertMem)
 	}
 }

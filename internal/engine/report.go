@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/expertmem"
 	"repro/internal/topo"
 )
 
@@ -57,6 +58,10 @@ type Report struct {
 	// DroppedJobs counts (token, expert) dispatches dropped by capacity
 	// enforcement (zero unless Config.CapacityFactor is set).
 	DroppedJobs int
+	// ExpertMem summarizes tiered expert-weight memory activity: hits,
+	// misses, prefetches and stall time (nil unless Config.Memory is set).
+	// The stall time also appears as the "expert-stall" breakdown category.
+	ExpertMem *expertmem.Stats
 	// Outputs[r] is request r's generated token ids — identical across
 	// modes for identical seeds (the no-accuracy-change invariant).
 	Outputs [][]int
@@ -119,14 +124,21 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "  dispatch: %.1f%% same-gpu, %.1f%% intra-node\n",
 		r.FracDispatchLocal()*100, r.FracDispatchIntraNode()*100)
+	if r.ExpertMem != nil {
+		fmt.Fprintf(&b, "  %s\n", r.ExpertMem)
+	}
 	return b.String()
 }
 
 // buildReport aggregates rank results into a Report.
-func buildReport(cfg *Config, reqs []*request, ranks []*cluster.Rank, perRank []*rankMetrics) *Report {
+func buildReport(cfg *Config, reqs []*request, ranks []*cluster.Rank, perRank []*rankMetrics, mem *expertmem.Manager) *Report {
 	rep := &Report{
 		Mode:      cfg.Mode,
 		Breakdown: cluster.MergedBreakdown(ranks),
+	}
+	if mem != nil {
+		st := mem.Stats()
+		rep.ExpertMem = &st
 	}
 	rep.SimSeconds = cluster.MaxClock(ranks)
 	for _, m := range perRank {

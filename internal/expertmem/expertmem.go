@@ -1,0 +1,586 @@
+// Package expertmem is the tiered expert-weight memory subsystem: it lets
+// the system serve MoE checkpoints whose expert parameters exceed aggregate
+// GPU HBM by paging expert weights across an HBM / host-DRAM / NVMe
+// hierarchy — the same fast-memory/bulk-memory tradeoff packet-classification
+// systems exploit to keep hot rules in TCAM while bulk state lives a tier
+// down.
+//
+// Each GPU owns a bounded number of HBM expert slots (a residency table).
+// Accessing a non-resident expert issues an asynchronous fetch over the
+// GPU's host link; the caller is charged the simulated stall until the
+// transfer completes. Fetches on one GPU serialize on its host-link channel,
+// so speculative traffic genuinely contends with demand traffic. Master
+// copies live in host DRAM, except that when the DRAM working set is itself
+// bounded (Config.HostSlots) the coldest experts by affinity popularity fall
+// through to NVMe and pay both hops.
+//
+// Residency is governed by a pluggable Policy: LRU, LFU, static
+// pin-by-popularity, and the headline affinity policy, which reads the
+// inter-layer affinity matrix — the same object the placement solver
+// optimizes — as a full memory oracle. It is, by construction, a predictor
+// of which experts a token will need at layer l+1 given its expert at layer
+// l: eviction drops the expert with the least affinity mass (LRU is
+// pathological under decode's cyclic layer scan; expected future demand is
+// not), and when a token's layer-l expert is decided the manager
+// speculatively fetches the top-k layer-(l+1) successors by affinity mass
+// so the transfer overlaps layer-l compute.
+//
+// The Manager is sharded per GPU and is safe for the engine's SPMD use as
+// long as every call for GPU g is made by rank g (each shard is then
+// single-goroutine); the serving simulator drives all shards from its
+// single-threaded event loop.
+package expertmem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// Config describes one tiered expert-memory instance.
+type Config struct {
+	// Layers, Experts, GPUs give the expert-weight universe: Layers*Experts
+	// weight tensors spread over GPUs by the placement.
+	Layers, Experts, GPUs int
+	// ExpertBytes is the parameter size of one expert (prices every fetch).
+	ExpertBytes int
+	// SlotsPerGPU is the HBM capacity budget in expert slots per GPU. Use
+	// SlotsFor to derive it from an oversubscription ratio, or
+	// SlotsForBytes from a byte budget.
+	SlotsPerGPU int
+	// HostLink is the HBM <-> host-DRAM path (see topo.Topology.HostPath).
+	HostLink topo.LinkCost
+	// NVMeLink is the host-DRAM <-> NVMe path, paid on top of HostLink for
+	// experts whose master copy does not fit in DRAM (see HostSlots).
+	NVMeLink topo.LinkCost
+	// HostSlots bounds how many expert master copies fit in host DRAM
+	// (fleet-wide for the replica). Zero means all of them; otherwise the
+	// coldest Layers*Experts-HostSlots experts by popularity live on NVMe.
+	HostSlots int
+	// Policy selects the eviction policy (nil means LRU).
+	Policy Policy
+	// PrefetchK is how many affinity successors Successors returns per
+	// routed expert; zero disables prefetching.
+	PrefetchK int
+	// Affinity is the inter-layer transition-count tensor
+	// [layer][from][to] (layer in [0, Layers-2]) that powers both the
+	// popularity ranking (warm preload, pinning, DRAM working set) and the
+	// prefetch oracle. Nil degrades to index-order popularity and no
+	// successor prediction.
+	Affinity [][][]float64
+}
+
+// SlotsFor returns the per-GPU HBM slot budget for an oversubscription
+// ratio: ratio 1 holds every expert a balanced placement assigns to the GPU,
+// ratio 2 half of them, and so on.
+func SlotsFor(layers, experts, gpus int, oversub float64) int {
+	perGPU := layers * experts / gpus
+	if oversub <= 1 {
+		return perGPU
+	}
+	slots := int(math.Ceil(float64(perGPU) / oversub))
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
+
+// SlotsForBytes converts a per-GPU HBM byte budget into expert slots.
+func SlotsForBytes(hbmBytes int64, expertBytes int) int {
+	if expertBytes <= 0 {
+		return 0
+	}
+	return int(hbmBytes / int64(expertBytes))
+}
+
+// ConfigFor derives the standard deployment config shared by the engine and
+// serving integrations: the slot budget comes from the oversubscription
+// ratio, clamped to what the topology's physical HBM can actually hold, and
+// the fetch links come from the topology's memory-tier presets.
+func ConfigFor(tp *topo.Topology, layers, experts, expertBytes int, oversub float64,
+	pol Policy, prefetchK, hostSlots int, affinity [][][]float64) Config {
+	gpus := tp.TotalGPUs()
+	slots := SlotsFor(layers, experts, gpus, oversub)
+	if byBytes := SlotsForBytes(tp.HBMCapacity(), expertBytes); byBytes >= 1 && byBytes < slots {
+		slots = byBytes
+	}
+	return Config{
+		Layers: layers, Experts: experts, GPUs: gpus,
+		ExpertBytes: expertBytes,
+		SlotsPerGPU: slots,
+		HostLink:    tp.HostPath(),
+		NVMeLink:    tp.NVMePath(),
+		HostSlots:   hostSlots,
+		Policy:      pol,
+		PrefetchK:   prefetchK,
+		Affinity:    affinity,
+	}
+}
+
+// validate panics on impossible configuration (programmer error).
+func (c *Config) validate() {
+	if c.Layers <= 0 || c.Experts <= 0 || c.GPUs <= 0 {
+		panic(fmt.Sprintf("expertmem: invalid shape %dx%d on %d gpus", c.Layers, c.Experts, c.GPUs))
+	}
+	if c.ExpertBytes <= 0 {
+		panic("expertmem: ExpertBytes must be positive")
+	}
+	if c.SlotsPerGPU <= 0 {
+		panic("expertmem: SlotsPerGPU must be positive")
+	}
+	if c.HostLink.Bandwidth <= 0 {
+		panic("expertmem: HostLink bandwidth must be positive")
+	}
+	if c.HostSlots > 0 && c.NVMeLink.Bandwidth <= 0 {
+		panic("expertmem: bounded HostSlots needs an NVMe link")
+	}
+}
+
+// key identifies one expert weight tensor.
+type key struct{ layer, expert int }
+
+// Entry is one residency-table row: an expert weight tensor that is either
+// resident in a GPU's HBM or in flight on its host link.
+type Entry struct {
+	Layer, Expert int
+	resident      bool
+	readyAt       float64 // fetch completion time while in flight
+	lastUse       float64
+	uses          int
+	pop           float64 // affinity popularity (the affinity policy's score)
+	pinned        bool
+	prefetched    bool // brought in speculatively and not yet demanded
+}
+
+// shard is one GPU's residency table plus its host-link fetch channel.
+type shard struct {
+	entries    map[key]*Entry
+	used       int // entries occupying slots (resident or in flight)
+	linkFreeAt float64
+	stats      Stats
+}
+
+// Stats counts one shard's (or, aggregated, one manager's) activity.
+type Stats struct {
+	// Accesses = Hits + LateHits + Misses.
+	Accesses int
+	// Hits are demand accesses served from HBM with zero stall.
+	Hits int
+	// LateHits are demand accesses that found their expert already in
+	// flight and stalled only for the residual transfer.
+	LateHits int
+	// Misses are demand accesses that had to issue a full fetch.
+	Misses int
+	// Bypasses counts misses that could not be cached (every slot pinned or
+	// in flight) and streamed through instead.
+	Bypasses  int
+	Evictions int
+	// Prefetches / PrefetchHits / WastedPrefetches track the speculative
+	// path: issued fetches, prefetched entries that served a later demand
+	// access, and prefetched entries evicted untouched.
+	PrefetchHits     int
+	Prefetches       int
+	WastedPrefetches int
+	// StallSeconds is the total simulated time demand accesses waited.
+	StallSeconds float64
+	// BytesFetched is the total host-link traffic (demand + speculative).
+	BytesFetched int64
+}
+
+// HitRate is the fraction of demand accesses served with zero stall.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Add accumulates another stats block.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.LateHits += o.LateHits
+	s.Misses += o.Misses
+	s.Bypasses += o.Bypasses
+	s.Evictions += o.Evictions
+	s.PrefetchHits += o.PrefetchHits
+	s.Prefetches += o.Prefetches
+	s.WastedPrefetches += o.WastedPrefetches
+	s.StallSeconds += o.StallSeconds
+	s.BytesFetched += o.BytesFetched
+}
+
+// String renders a compact summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("expertmem: %d accesses, %.1f%% hit (%d late, %d miss), %.3fs stalled, %d prefetches (%d hits, %d wasted)",
+		s.Accesses, s.HitRate()*100, s.LateHits, s.Misses, s.StallSeconds, s.Prefetches, s.PrefetchHits, s.WastedPrefetches)
+}
+
+// Manager is the tiered expert-weight memory: per-GPU residency shards, an
+// async fetch model, and the affinity-derived popularity/prefetch oracles.
+type Manager struct {
+	cfg    Config
+	policy Policy
+	shards []*shard
+
+	perGPU     int       // balanced expert instances per GPU
+	hostOnNVMe []bool    // [layer*Experts+expert]: master copy on NVMe
+	popularity []float64 // [layer*Experts+expert]: affinity mass
+	succ       [][][]int // [layer][expert]: top-K layer+1 successors
+	hostTime   float64   // HostLink.Time(ExpertBytes)
+	nvmeTime   float64   // NVMeLink.Time(ExpertBytes)
+}
+
+// New builds a manager. Call Warm before the first access to model the
+// deployment-time preload of each GPU's most popular assigned experts.
+func New(cfg Config) *Manager {
+	cfg.validate()
+	m := &Manager{
+		cfg:      cfg,
+		policy:   cfg.Policy,
+		perGPU:   cfg.Layers * cfg.Experts / cfg.GPUs,
+		hostTime: cfg.HostLink.Time(cfg.ExpertBytes),
+	}
+	if m.policy == nil {
+		m.policy = LRU()
+	}
+	if cfg.NVMeLink.Bandwidth > 0 {
+		m.nvmeTime = cfg.NVMeLink.Time(cfg.ExpertBytes)
+	}
+	m.shards = make([]*shard, cfg.GPUs)
+	for g := range m.shards {
+		m.shards[g] = &shard{entries: make(map[key]*Entry, cfg.SlotsPerGPU)}
+	}
+	m.buildOracles()
+	return m
+}
+
+// Oversubscribed reports whether the HBM budget is actually binding: when
+// every assigned expert fits, the manager is a no-op and callers can skip
+// its bookkeeping entirely (the 1x-adds-no-overhead guarantee).
+func (m *Manager) Oversubscribed() bool { return m.cfg.SlotsPerGPU < m.perGPU }
+
+// Prefetching reports whether the affinity prefetcher is active.
+func (m *Manager) Prefetching() bool {
+	return m.cfg.PrefetchK > 0 && m.policy.Prefetch() && m.succ != nil
+}
+
+// PolicyName returns the active eviction policy's name.
+func (m *Manager) PolicyName() string { return m.policy.Name() }
+
+// buildOracles precomputes popularity, the DRAM/NVMe master-copy split, and
+// the top-K successor lists from the affinity tensor.
+func (m *Manager) buildOracles() {
+	n := m.cfg.Layers * m.cfg.Experts
+	m.popularity = make([]float64, n)
+	aff := m.cfg.Affinity
+	if aff != nil {
+		// Popularity of (l, e): incoming affinity mass for l > 0, outgoing
+		// row mass for layer 0 (which has no incoming transitions).
+		for l := 0; l < m.cfg.Layers && l < len(aff)+1; l++ {
+			for e := 0; e < m.cfg.Experts; e++ {
+				mass := 0.0
+				if l == 0 {
+					if len(aff) > 0 {
+						for _, w := range aff[0][e] {
+							mass += w
+						}
+					}
+				} else {
+					for from := range aff[l-1] {
+						mass += aff[l-1][from][e]
+					}
+				}
+				m.popularity[l*m.cfg.Experts+e] = mass
+			}
+		}
+		if k := m.cfg.PrefetchK; k > 0 {
+			m.succ = make([][][]int, len(aff))
+			for l := range aff {
+				m.succ[l] = make([][]int, m.cfg.Experts)
+				for from := 0; from < m.cfg.Experts; from++ {
+					m.succ[l][from] = topKIndices(aff[l][from], k)
+				}
+			}
+		}
+	}
+	if m.cfg.HostSlots > 0 && m.cfg.HostSlots < n {
+		// The coldest experts' master copies fall through to NVMe.
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if m.popularity[order[a]] != m.popularity[order[b]] {
+				return m.popularity[order[a]] > m.popularity[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		m.hostOnNVMe = make([]bool, n)
+		for _, idx := range order[m.cfg.HostSlots:] {
+			m.hostOnNVMe[idx] = true
+		}
+	}
+}
+
+// topKIndices returns the indices of the k largest row entries with positive
+// mass, in decreasing order (ties broken by index).
+func topKIndices(row []float64, k int) []int {
+	idx := make([]int, 0, len(row))
+	for i, w := range row {
+		if w > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if row[idx[a]] != row[idx[b]] {
+			return row[idx[a]] > row[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	return append([]int(nil), idx...)
+}
+
+// popOf returns the affinity popularity of (layer, expert).
+func (m *Manager) popOf(layer, expert int) float64 {
+	return m.popularity[layer*m.cfg.Experts+expert]
+}
+
+// Successors returns the top-K experts most likely at layer+1 given the
+// routed expert at layer — the affinity matrix read as a prefetch oracle.
+// Empty at the last layer or when prefetching is off.
+func (m *Manager) Successors(layer, expert int) []int {
+	if m.succ == nil || layer < 0 || layer >= len(m.succ) {
+		return nil
+	}
+	return m.succ[layer][expert]
+}
+
+// FetchSeconds is the modeled time to bring one expert into HBM from its
+// master copy tier (host DRAM, or NVMe then DRAM for cold experts).
+func (m *Manager) FetchSeconds(layer, expert int) float64 {
+	t := m.hostTime
+	if m.hostOnNVMe != nil && m.hostOnNVMe[layer*m.cfg.Experts+expert] {
+		t += m.nvmeTime
+	}
+	return t
+}
+
+// Warm preloads each GPU's most popular assigned experts up to the slot
+// budget, modeling the deployment-time weight load. assign[layer][expert]
+// is the owning GPU (a placement's Assign tensor). Under a pinning policy
+// the preloaded set is immovable.
+func (m *Manager) Warm(assign [][]int) {
+	pin := m.policy.Pin()
+	type cand struct {
+		k   key
+		pop float64
+	}
+	perGPU := make([][]cand, m.cfg.GPUs)
+	for l := 0; l < m.cfg.Layers && l < len(assign); l++ {
+		for e := 0; e < m.cfg.Experts; e++ {
+			g := assign[l][e]
+			perGPU[g] = append(perGPU[g], cand{key{l, e}, m.popularity[l*m.cfg.Experts+e]})
+		}
+	}
+	for g, cands := range perGPU {
+		sort.SliceStable(cands, func(a, b int) bool {
+			if cands[a].pop != cands[b].pop {
+				return cands[a].pop > cands[b].pop
+			}
+			if cands[a].k.layer != cands[b].k.layer {
+				return cands[a].k.layer < cands[b].k.layer
+			}
+			return cands[a].k.expert < cands[b].k.expert
+		})
+		s := m.shards[g]
+		for _, c := range cands {
+			if s.used >= m.cfg.SlotsPerGPU {
+				break
+			}
+			s.entries[c.k] = &Entry{
+				Layer: c.k.layer, Expert: c.k.expert,
+				resident: true, pinned: pin, pop: c.pop,
+			}
+			s.used++
+		}
+	}
+}
+
+// Access is a demand access to expert (layer, expert) on the given GPU at
+// simulated time now. It returns the stall the accessing computation must
+// wait before the weights are usable. Misses issue a fetch on the GPU's
+// host-link channel; if no slot can be freed the transfer streams through
+// without caching.
+func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
+	s := m.shards[gpu]
+	s.stats.Accesses++
+	if !m.Oversubscribed() {
+		s.stats.Hits++
+		return 0
+	}
+	k := key{layer, expert}
+	if e := s.entries[k]; e != nil {
+		stall := 0.0
+		if !e.resident {
+			if e.readyAt > now {
+				stall = e.readyAt - now
+				s.stats.LateHits++
+			} else {
+				s.stats.Hits++
+			}
+			e.resident = true
+		} else {
+			s.stats.Hits++
+		}
+		if e.prefetched {
+			s.stats.PrefetchHits++
+			e.prefetched = false
+		}
+		e.uses++
+		e.lastUse = now + stall
+		s.stats.StallSeconds += stall
+		return stall
+	}
+	// Miss: fetch over the serialized host link. The entry is installed
+	// in flight (resident only once readyAt passes) so a same-instant
+	// eviction scan cannot drop a transfer that is still on the link; the
+	// next access flips it resident.
+	s.stats.Misses++
+	ready := m.issueFetch(s, k, now)
+	stall := ready - now
+	s.stats.StallSeconds += stall
+	if m.freeSlot(s, now) {
+		s.entries[k] = &Entry{
+			Layer: layer, Expert: expert,
+			readyAt: ready, uses: 1, lastUse: ready, pop: m.popOf(layer, expert),
+		}
+		s.used++
+	} else {
+		s.stats.Bypasses++
+	}
+	return stall
+}
+
+// Prefetch speculatively fetches (layer, expert) into the GPU's HBM at
+// simulated time now. Speculation rides idle host-link bandwidth only: when
+// a transfer is already occupying the GPU's link the hint is dropped, so a
+// burst of prefetches can never starve the demand fetches behind it (a
+// demand miss waits for at most one in-flight speculative transfer). It is
+// also a no-op if the expert is already resident or in flight, or if no
+// slot can be freed without disturbing pinned or in-flight entries.
+func (m *Manager) Prefetch(gpu, layer, expert int, now float64) {
+	if !m.Oversubscribed() {
+		return
+	}
+	s := m.shards[gpu]
+	if s.linkFreeAt > now {
+		return
+	}
+	k := key{layer, expert}
+	if s.entries[k] != nil {
+		return
+	}
+	if !m.freeSlot(s, now) {
+		return
+	}
+	ready := m.issueFetch(s, k, now)
+	s.entries[k] = &Entry{
+		Layer: layer, Expert: expert,
+		readyAt: ready, lastUse: ready, prefetched: true, pop: m.popOf(layer, expert),
+	}
+	s.used++
+	s.stats.Prefetches++
+}
+
+// issueFetch charges one expert transfer to the shard's host-link channel
+// and returns the completion time.
+func (m *Manager) issueFetch(s *shard, k key, now float64) float64 {
+	start := now
+	if s.linkFreeAt > start {
+		start = s.linkFreeAt
+	}
+	ready := start + m.FetchSeconds(k.layer, k.expert)
+	s.linkFreeAt = ready
+	s.stats.BytesFetched += int64(m.cfg.ExpertBytes)
+	return ready
+}
+
+// freeSlot ensures the shard has a free slot, evicting a policy-chosen
+// victim if needed. It reports whether a slot is available. Pinned entries
+// and in-flight transfers (readyAt > now) are never evicted.
+func (m *Manager) freeSlot(s *shard, now float64) bool {
+	if s.used < m.cfg.SlotsPerGPU {
+		return true
+	}
+	var victim *Entry
+	for _, e := range s.entries {
+		if e.pinned || (!e.resident && e.readyAt > now) {
+			continue
+		}
+		victim = m.policy.Better(victim, e)
+	}
+	if victim == nil {
+		return false
+	}
+	if victim.prefetched && victim.uses == 0 {
+		s.stats.WastedPrefetches++
+	}
+	delete(s.entries, key{victim.Layer, victim.Expert})
+	s.used--
+	s.stats.Evictions++
+	return true
+}
+
+// Resident reports whether (layer, expert) is HBM-resident on the GPU.
+func (m *Manager) Resident(gpu, layer, expert int) bool {
+	if !m.Oversubscribed() {
+		return true
+	}
+	e := m.shards[gpu].entries[key{layer, expert}]
+	return e != nil && e.resident
+}
+
+// Relocate applies one placement move at simulated time now: the expert's
+// HBM copy (if any) on the old owner is invalidated, and the parameter copy
+// the migration already priced lands it resident on the new owner (evicting
+// by policy; skipped if no slot can be freed). It returns whether the source
+// held a resident copy — the residency churn the migration destroyed.
+func (m *Manager) Relocate(layer, expert, from, to int, now float64) bool {
+	if !m.Oversubscribed() {
+		return false
+	}
+	k := key{layer, expert}
+	src := m.shards[from]
+	churned := false
+	if e := src.entries[k]; e != nil {
+		if e.resident {
+			churned = true
+		}
+		delete(src.entries, k)
+		src.used--
+	}
+	dst := m.shards[to]
+	if dst.entries[k] == nil && m.freeSlot(dst, now) {
+		dst.entries[k] = &Entry{
+			Layer: layer, Expert: expert,
+			resident: true, lastUse: now, pinned: m.policy.Pin(), pop: m.popOf(layer, expert),
+		}
+		dst.used++
+	}
+	return churned
+}
+
+// Stats aggregates all shards' counters.
+func (m *Manager) Stats() Stats {
+	var total Stats
+	for _, s := range m.shards {
+		total.Add(s.stats)
+	}
+	return total
+}

@@ -17,11 +17,18 @@ type MigrationEvent struct {
 	// Moves / CrossNodeMoves count relocated experts (after canonicalization).
 	Moves, CrossNodeMoves int
 	// Seconds is the per-replica serving pause charged to the simulated
-	// clock while that replica's expert parameters are copied.
+	// clock while that replica's expert parameters are copied (including
+	// ChurnSeconds when tiered expert memory is on).
 	Seconds float64
 	// PredictedGain is the fractional reduction in live-window crossings the
 	// re-solved placement promises (1 - fresh/stale).
 	PredictedGain float64
+	// ResidencyChurn counts HBM-resident expert copies the migration
+	// invalidates under tiered expert memory; ChurnSeconds is the host-link
+	// refetch cost of restoring them, priced into Seconds. Both zero when
+	// the memory layer is off.
+	ResidencyChurn int
+	ChurnSeconds   float64
 }
 
 // pendingMigration sequences a rolling re-placement across replicas: only
@@ -44,6 +51,10 @@ type controller struct {
 	opts   *Options
 	window *TraceWindow
 	det    *Detector
+
+	// churn, when set (tiered expert memory on), prices the HBM residency a
+	// move set would invalidate: count and refetch seconds.
+	churn func([]placement.Move) (int, float64)
 
 	cooldownUntil float64
 	solves        int
@@ -88,17 +99,24 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 	// Price exactly the placement being installed (PriceMigration would
 	// re-canonicalize and could plan for a different relabeling).
 	plan := placement.PriceMoves(placement.Diff(cur, canon), c.opts.Topo, c.opts.ExpertBytes)
-	return score, &pendingMigration{
-		newPl: canon,
-		event: &MigrationEvent{
-			Time:           now,
-			Score:          score,
-			Moves:          len(plan.Moves),
-			CrossNodeMoves: plan.CrossNodeMoves,
-			Seconds:        plan.Seconds,
-			PredictedGain:  gain,
-		},
+	ev := &MigrationEvent{
+		Time:           now,
+		Score:          score,
+		Moves:          len(plan.Moves),
+		CrossNodeMoves: plan.CrossNodeMoves,
+		Seconds:        plan.Seconds,
+		PredictedGain:  gain,
 	}
+	if c.churn != nil {
+		// Under oversubscription the migration does not just copy
+		// parameters: it destroys the HBM residency of every moved expert,
+		// and each replica refills that hot set before serving at speed
+		// again. Charge the refetch to the pause so the event prices the
+		// full cost of churn.
+		ev.ResidencyChurn, ev.ChurnSeconds = c.churn(plan.Moves)
+		ev.Seconds += ev.ChurnSeconds
+	}
+	return score, &pendingMigration{newPl: canon, event: ev}
 }
 
 // perTokenCost evaluates the cost model's per-token service time for a

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// controllerFixture builds a controller over a window filled with drifted
+// traffic, so the detector is hot and only the gating logic decides whether
+// a plan is returned.
+func controllerFixture(t *testing.T, minGain float64) (*controller, *placement.Placement, Options) {
+	t.Helper()
+	opts, drifted := testSystem(t)
+	opts.Adaptive = true
+	opts.MinGain = minGain
+	opts = opts.withDefaults()
+
+	window := NewTraceWindow(opts.Kernel.Layers, opts.Kernel.Experts, opts.Window)
+	router := synth.NewKernelRouter(opts.Kernel, drifted, 1)
+	ids := trace.SequentialIDs(opts.Window, drifted.TokenID)
+	tr := trace.Collect(router, opts.Kernel.Layers, ids)
+	for _, path := range tr.Paths {
+		p := make([]int, len(path))
+		for i, e := range path {
+			p[i] = int(e)
+		}
+		window.Push(p)
+	}
+	ctrl := newController(&opts, window, poolCounts(opts.BaselineCounts, opts.Kernel.Experts))
+	return ctrl, opts.Placement.Clone(), opts
+}
+
+func TestControllerAcceptsWhenGainClearsMinGain(t *testing.T) {
+	ctrl, cur, opts := controllerFixture(t, 0.01)
+	var plan *pendingMigration
+	var score float64
+	// Patience debounces: observe until the detector has fired.
+	for i := 0; i < opts.Patience+1 && plan == nil; i++ {
+		score, plan = ctrl.observe(float64(i), cur, false)
+	}
+	if plan == nil {
+		t.Fatalf("drifted window (score %v) produced no plan", score)
+	}
+	ev := plan.event
+	if ev.Moves == 0 || ev.Seconds <= 0 {
+		t.Fatalf("plan prices nothing: %+v", ev)
+	}
+	if ev.PredictedGain < opts.MinGain {
+		t.Fatalf("accepted gain %v below MinGain %v", ev.PredictedGain, opts.MinGain)
+	}
+	if ev.Score != score {
+		t.Fatalf("event score %v != observed %v", ev.Score, score)
+	}
+	// The planned placement must stay valid and differ from the current one.
+	if err := plan.newPl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(placement.Diff(cur, plan.newPl)) != ev.Moves {
+		t.Fatal("event move count does not match the installed diff")
+	}
+}
+
+func TestControllerRejectsBelowMinGainAndCoolsDown(t *testing.T) {
+	// An impossible gain requirement: every re-solve is rejected and the
+	// rejection opens a cooldown window.
+	ctrl, cur, opts := controllerFixture(t, 0.99)
+	var plan *pendingMigration
+	for i := 0; i < opts.Patience+1 && plan == nil; i++ {
+		_, plan = ctrl.observe(float64(i), cur, false)
+	}
+	if plan != nil {
+		t.Fatalf("gain cannot clear MinGain=0.99, yet got a plan: %+v", plan.event)
+	}
+	if ctrl.solves == 0 {
+		t.Fatal("controller never re-solved, so MinGain gating was not exercised")
+	}
+	if ctrl.cooldownUntil <= 0 {
+		t.Fatal("rejected re-solve must open a cooldown window")
+	}
+	// Inside the cooldown the controller must not even re-solve.
+	solves := ctrl.solves
+	for i := 0; i < opts.Patience+2; i++ {
+		if _, p := ctrl.observe(float64(opts.Patience)+0.1*float64(i), cur, false); p != nil {
+			t.Fatal("plan produced during cooldown")
+		}
+	}
+	if ctrl.solves != solves {
+		t.Fatal("controller re-solved during cooldown")
+	}
+}
+
+func TestControllerGatesOnBusyAndFill(t *testing.T) {
+	ctrl, cur, opts := controllerFixture(t, 0.01)
+	// busy: a migration in flight suppresses new plans.
+	for i := 0; i < opts.Patience+2; i++ {
+		if _, p := ctrl.observe(float64(i), cur, true); p != nil {
+			t.Fatal("plan produced while a migration is in flight")
+		}
+	}
+	// Adaptive off: score still reported, never a plan.
+	ctrl2, cur2, opts2 := controllerFixture(t, 0.01)
+	ctrl2.opts.Adaptive = false
+	for i := 0; i < opts2.Patience+2; i++ {
+		score, p := ctrl2.observe(float64(i), cur2, false)
+		if p != nil {
+			t.Fatal("static controller returned a plan")
+		}
+		if score <= 0 {
+			t.Fatal("score not reported")
+		}
+	}
+}
+
+func TestRollingMigrationPauseAccounting(t *testing.T) {
+	// End to end: during a rolling migration only one replica stalls at a
+	// time, so the fleet-wide completion spans at least Replicas stalls and
+	// every replica keeps its own pause.
+	opts, drifted := testSystem(t)
+	opts.Adaptive = true
+	opts.Phases = driftProgram(opts, drifted)
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Migrations) == 0 {
+		t.Fatal("no migration to audit")
+	}
+	for _, m := range rep.Migrations {
+		if m.Completed < m.Time+float64(opts.Replicas)*m.Seconds {
+			t.Fatalf("rolling migration too fast: decided %v, done %v, %d replicas x %vs pause",
+				m.Time, m.Completed, opts.Replicas, m.Seconds)
+		}
+		if m.ChurnSeconds != 0 || m.ResidencyChurn != 0 {
+			t.Fatalf("churn priced without a memory layer: %+v", m)
+		}
+	}
+}
+
+func TestControllerPerTokenCostOrdersPlacements(t *testing.T) {
+	ctrl, _, opts := controllerFixture(t, 0.01)
+	counts := ctrl.window.Snapshot()
+	staged := placement.Staged(counts, opts.Kernel.Layers, opts.Kernel.Experts, opts.Topo, 77)
+	random := placement.Random(opts.Kernel.Layers, opts.Kernel.Experts, opts.Topo.TotalGPUs(), 77)
+	cs, cr := ctrl.perTokenCost(counts, staged), ctrl.perTokenCost(counts, random)
+	if cs <= 0 || cr <= 0 {
+		t.Fatalf("degenerate costs %v %v", cs, cr)
+	}
+	if cs >= cr {
+		t.Fatalf("staged placement should cost less per token than random: %v vs %v", cs, cr)
+	}
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// steadyProgram is a single in-distribution phase at the given load
+// fraction of the memory-free capacity knee.
+func steadyProgram(o Options, frac, dur float64) []Phase {
+	return []Phase{{Name: "steady", Duration: dur, Rate: nearKneeRate(o, frac, 0.2, 0.5), Dataset: synth.Pile()}}
+}
+
+func TestServeOversubscription1xAddsNoOverhead(t *testing.T) {
+	base, _ := testSystem(t)
+	base.Phases = steadyProgram(base, 0.8, 4)
+
+	off, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at1x := base
+	at1x.Oversubscription = 1
+	at1x.CachePolicy = "affinity"
+	on, err := Run(at1x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every expert fits, so the memory layer must not move a single number:
+	// identical makespan and percentiles, zero stall.
+	if on.Makespan != off.Makespan || on.Overall.P95 != off.Overall.P95 {
+		t.Fatalf("1x memory layer changed timing: makespan %v vs %v, P95 %v vs %v",
+			on.Makespan, off.Makespan, on.Overall.P95, off.Overall.P95)
+	}
+	if on.ExpertMem == nil || on.ExpertMem.StallSeconds != 0 || on.ExpertMem.Misses != 0 {
+		t.Fatalf("1x produced paging activity: %+v", on.ExpertMem)
+	}
+	if off.ExpertMem != nil {
+		t.Fatal("disabled memory layer reported stats")
+	}
+}
+
+func TestServeAffinityPrefetchBeatsLRUAt2x(t *testing.T) {
+	opts, _ := testSystem(t)
+	opts.Phases = steadyProgram(opts, 0.6, 5)
+	opts.Oversubscription = 2
+
+	run := func(policy string) *Report {
+		o := opts
+		o.CachePolicy = policy
+		rep, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ExpertMem == nil || rep.ExpertMem.Accesses == 0 {
+			t.Fatalf("%s: no memory activity", policy)
+		}
+		return rep
+	}
+	lru := run("lru")
+	aff := run("affinity")
+
+	if aff.ExpertMem.Prefetches == 0 || aff.ExpertMem.PrefetchHits == 0 {
+		t.Fatalf("affinity prefetcher idle: %+v", aff.ExpertMem)
+	}
+	if aff.ExpertMem.HitRate() <= lru.ExpertMem.HitRate() {
+		t.Fatalf("affinity hit rate %.3f not above lru %.3f",
+			aff.ExpertMem.HitRate(), lru.ExpertMem.HitRate())
+	}
+	if aff.Overall.P95 >= lru.Overall.P95 {
+		t.Fatalf("affinity P95 %.4fs not below lru %.4fs", aff.Overall.P95, lru.Overall.P95)
+	}
+}
+
+func TestServeOversubscribedDeterministicReplay(t *testing.T) {
+	opts, _ := testSystem(t)
+	opts.Phases = steadyProgram(opts, 0.6, 3)
+	opts.Oversubscription = 2
+	opts.CachePolicy = "affinity"
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || *a.ExpertMem != *b.ExpertMem {
+		t.Fatalf("oversubscribed replay diverged:\n%+v\n%+v", a.ExpertMem, b.ExpertMem)
+	}
+}
+
+func TestServeMigrationPricesResidencyChurn(t *testing.T) {
+	opts, drifted := testSystem(t)
+	opts.Adaptive = true
+	opts.Oversubscription = 2
+	opts.CachePolicy = "affinity"
+	rate := nearKneeRate(opts, 0.5, 0.2, 0.5)
+	opts.Phases = []Phase{
+		{Name: "warm", Duration: 3, Rate: rate, Dataset: synth.Pile()},
+		{Name: "drift", Duration: 6, Rate: rate, Dataset: drifted},
+	}
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Migrations) == 0 {
+		t.Fatal("adaptive oversubscribed fleet never migrated under drift")
+	}
+	m := rep.Migrations[0]
+	if m.ResidencyChurn == 0 || m.ChurnSeconds <= 0 {
+		t.Fatalf("migration did not price residency churn: %+v", m)
+	}
+	if m.Seconds <= m.ChurnSeconds {
+		t.Fatalf("pause %v should include parameter copies on top of churn %v", m.Seconds, m.ChurnSeconds)
+	}
+}
+
+func TestServeMigrationAt1xChurnsNothing(t *testing.T) {
+	// At 1x every expert fits: migrations must not be charged any
+	// residency-churn refetch (the 1x-adds-no-overhead guarantee extends
+	// to the controller's pricing).
+	opts, drifted := testSystem(t)
+	opts.Adaptive = true
+	opts.Oversubscription = 1
+	opts.CachePolicy = "affinity"
+	opts.Phases = driftProgram(opts, drifted)
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Migrations) == 0 {
+		t.Fatal("adaptive fleet never migrated under drift")
+	}
+	for _, m := range rep.Migrations {
+		if m.ResidencyChurn != 0 || m.ChurnSeconds != 0 {
+			t.Fatalf("1x migration priced churn: %+v", m)
+		}
+	}
+}
+
+func TestServeValidatesMemoryOptions(t *testing.T) {
+	opts, _ := testSystem(t)
+	opts.Phases = steadyProgram(opts, 0.5, 1)
+	opts.Oversubscription = 0.5
+	if _, err := Run(opts); err == nil {
+		t.Fatal("fractional oversubscription below 1 accepted")
+	}
+	opts.Oversubscription = 2
+	opts.CachePolicy = "bogus"
+	if _, err := Run(opts); err == nil {
+		t.Fatal("unknown cache policy accepted")
+	}
+}

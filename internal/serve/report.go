@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/expertmem"
 	"repro/internal/stats"
 )
 
@@ -44,6 +45,16 @@ type Report struct {
 	QueueDepth *stats.Series
 	// Migrations lists every applied re-placement.
 	Migrations []MigrationEvent
+	// ExpertMem aggregates tiered expert-weight memory activity across the
+	// fleet (nil when Options.Oversubscription is zero). Its StallSeconds
+	// sums every access's wait even when accesses stall in parallel across
+	// GPUs; MemStallSeconds below is the wall-clock-consistent figure.
+	ExpertMem *expertmem.Stats
+	// MemStallSeconds is the expert-miss stall actually charged to the
+	// fleet's iteration clocks (per layer, the slowest GPU's wait — the
+	// others overlap). Compare against Makespan; zero when the memory
+	// layer is off or nothing missed.
+	MemStallSeconds float64
 	// Makespan, Iterations, MeanBatch, Requests, Tokens summarize the run.
 	Makespan   float64
 	Iterations int
@@ -91,8 +102,15 @@ func (r *Report) String() string {
 			p.Name, p.Start, p.End, p.Requests, p.P50, p.P95, p.P99, p.Throughput)
 	}
 	for _, m := range r.Migrations {
-		fmt.Fprintf(&b, "  migration @%.2fs: score %.4f, %d moves (%d cross-node), %.1fms pause/replica, predicted gain %.1f%%\n",
+		fmt.Fprintf(&b, "  migration @%.2fs: score %.4f, %d moves (%d cross-node), %.1fms pause/replica, predicted gain %.1f%%",
 			m.Time, m.Score, m.Moves, m.CrossNodeMoves, m.Seconds*1e3, m.PredictedGain*100)
+		if m.ResidencyChurn > 0 {
+			fmt.Fprintf(&b, ", %d resident copies churned (%.1fms refetch)", m.ResidencyChurn, m.ChurnSeconds*1e3)
+		}
+		b.WriteByte('\n')
+	}
+	if r.ExpertMem != nil {
+		fmt.Fprintf(&b, "  %s\n", r.ExpertMem)
 	}
 	return b.String()
 }
@@ -104,6 +122,14 @@ func (s *server) buildReport() *Report {
 		Iterations: s.iterations,
 		Requests:   len(s.arrivals),
 		Tokens:     len(s.arrivals) * s.opts.DecodeTokens,
+	}
+	if s.mems != nil {
+		var mst expertmem.Stats
+		for _, mem := range s.mems {
+			mst.Add(mem.Stats())
+		}
+		rep.ExpertMem = &mst
+		rep.MemStallSeconds = s.memStall
 	}
 	if s.iterations > 0 {
 		rep.MeanBatch = float64(s.batchTotal) / float64(s.iterations)

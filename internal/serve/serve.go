@@ -18,6 +18,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"repro/internal/expertmem"
 	"repro/internal/moe"
 	"repro/internal/placement"
 	"repro/internal/rng"
@@ -79,6 +80,22 @@ type Options struct {
 	// MinGain is the minimum fractional crossing reduction worth migrating
 	// for (default 0.01).
 	MinGain float64
+	// Oversubscription enables tiered expert-weight memory: each replica
+	// GPU's HBM holds assigned-expert-weights/ratio expert slots, the rest
+	// page from host DRAM (expertmem). Zero disables the memory layer
+	// entirely; 1 builds it but every expert fits (no stalls, by
+	// construction); values in (0, 1) are rejected.
+	Oversubscription float64
+	// CachePolicy selects the residency policy under oversubscription:
+	// lru, lfu, pin, or affinity (the default — affinity-mass eviction
+	// plus affinity-guided prefetching).
+	CachePolicy string
+	// PrefetchK is how many affinity successors the prefetcher chases per
+	// routed expert (default 4; affinity policy only).
+	PrefetchK int
+	// HostSlots bounds the host-DRAM master-copy working set; the coldest
+	// experts fall through to NVMe (0 = everything fits in DRAM).
+	HostSlots int
 	// LatencyBucket is the report's time-bucket width in seconds for the
 	// P95/throughput series (0 = makespan/80).
 	LatencyBucket float64
@@ -131,6 +148,9 @@ func (o Options) withDefaults() Options {
 	if o.TopK == 0 {
 		o.TopK = 1
 	}
+	if o.PrefetchK == 0 {
+		o.PrefetchK = 4
+	}
 	return o
 }
 
@@ -151,6 +171,15 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("serve: Replicas, MaxBatch, DecodeTokens must be positive")
 	case len(o.Phases) == 0:
 		return fmt.Errorf("serve: at least one traffic phase required")
+	case o.Oversubscription < 0 || (o.Oversubscription > 0 && o.Oversubscription < 1):
+		return fmt.Errorf("serve: Oversubscription must be 0 (off) or >= 1, got %v", o.Oversubscription)
+	case o.HostSlots < 0:
+		return fmt.Errorf("serve: HostSlots must be non-negative")
+	}
+	if o.Oversubscription > 0 {
+		if _, err := expertmem.ParsePolicy(o.CachePolicy); err != nil {
+			return err
+		}
 	}
 	for _, p := range o.Phases {
 		if err := p.validate(); err != nil {
@@ -231,6 +260,10 @@ type server struct {
 	replicas []*replica
 	window   *TraceWindow
 	ctrl     *controller
+	// mems[r] is replica r's tiered expert-weight memory (nil slices when
+	// Oversubscription is zero). paths is the per-iteration routing scratch.
+	mems  []*expertmem.Manager
+	paths [][]int
 
 	events    eventHeap
 	arrivals  []*request
@@ -241,7 +274,8 @@ type server struct {
 
 	iterations int
 	batchTotal int
-	decoded    []tick // (time, tokens decoded) per iteration
+	memStall   float64 // expert-miss stall actually charged to iteration clocks
+	decoded    []tick  // (time, tokens decoded) per iteration
 	fracT      []float64
 	fracY      []float64 // per-iteration cross-node dispatch fraction
 	driftT     []float64
@@ -282,6 +316,38 @@ func Run(opts Options) (*Report, error) {
 	}
 	for r := 0; r < opts.Replicas; r++ {
 		s.replicas = append(s.replicas, &replica{id: r, pl: opts.Placement.Clone()})
+	}
+	if opts.Oversubscription > 0 {
+		pol, err := expertmem.ParsePolicy(opts.CachePolicy)
+		if err != nil {
+			return nil, err
+		}
+		mcfg := expertmem.ConfigFor(opts.Topo, layers, opts.Placement.Experts, opts.ExpertBytes,
+			opts.Oversubscription, pol, opts.PrefetchK, opts.HostSlots, opts.BaselineCounts)
+		for r := 0; r < opts.Replicas; r++ {
+			mem := expertmem.New(mcfg)
+			mem.Warm(opts.Placement.Assign)
+			s.mems = append(s.mems, mem)
+		}
+		// The controller must price residency churn, not just parameter
+		// copies: a migration invalidates the HBM copies of every moved
+		// expert, and under oversubscription each one costs a host-link
+		// refetch before the replica is warm again. Replica 0's residency
+		// stands in for the fleet, mirroring how drift is scored. At 1x
+		// nothing can ever churn (Resident is vacuously true but no refetch
+		// happens), so the pricing hook stays uninstalled.
+		if s.mems[0].Oversubscribed() {
+			s.ctrl.churn = func(moves []placement.Move) (int, float64) {
+				n, sec := 0, 0.0
+				for _, mv := range moves {
+					if s.mems[0].Resident(mv.From, mv.Layer, mv.Expert) {
+						n++
+						sec += s.mems[0].FetchSeconds(mv.Layer, mv.Expert)
+					}
+				}
+				return n, sec
+			}
+		}
 	}
 
 	// Pre-draw every arrival: phase by phase, deterministic in the seed.
@@ -359,6 +425,14 @@ func (s *server) onIterEnd(now float64, r *replica) {
 // the baton to the next one.
 func (s *server) onStallEnd(now float64, r *replica) {
 	r.stalled = false
+	if s.mems != nil {
+		// The parameter copy lands each moved expert on its new owner's HBM
+		// and invalidates the stale copy — the residency churn the
+		// controller priced into the pause.
+		for _, mv := range placement.Diff(r.pl, s.pending.newPl) {
+			s.mems[r.id].Relocate(mv.Layer, mv.Expert, mv.From, mv.To, now)
+		}
+	}
 	r.pl = s.pending.newPl.Clone()
 	s.pending.next++
 	if s.pending.next >= len(s.replicas) {
@@ -426,12 +500,15 @@ func (s *server) start(now float64, r *replica) {
 		return
 	}
 	layers := s.opts.Kernel.Layers
-	path := make([]int, layers)
+	for len(s.paths) < len(r.active) {
+		s.paths = append(s.paths, make([]int, layers))
+	}
 	same, node, cross := 0, 0, 0
-	for _, rq := range r.active {
+	for i, rq := range r.active {
 		router := s.routers[rq.phase]
 		id := s.opts.Phases[rq.phase].Dataset.TokenID(tokenOrdinalBase + s.ordinal)
 		s.ordinal++
+		path := s.paths[i]
 		prev := -1
 		for j := 0; j < layers; j++ {
 			experts := router.Route(j, id, prev, nil)
@@ -455,6 +532,11 @@ func (s *server) start(now float64, r *replica) {
 	}
 	total := float64(same + node + cross)
 	dt := s.opts.Cost.Time(len(r.active), float64(node)/total, float64(cross)/total)
+	if s.mems != nil {
+		st := s.memoryStalls(r, len(r.active), now, dt)
+		dt += st
+		s.memStall += st
+	}
 	s.fracT = append(s.fracT, now)
 	s.fracY = append(s.fracY, float64(cross)/total)
 	s.iterations++
@@ -462,4 +544,51 @@ func (s *server) start(now float64, r *replica) {
 	r.running = true
 	s.seq++
 	heap.Push(&s.events, event{t: now + dt, kind: evIterEnd, rep: r.id, seq: s.seq})
+}
+
+// memoryStalls walks one iteration's per-layer timeline through the
+// replica's tiered expert-weight memory and returns the total stall added
+// to the iteration. The iteration is bulk-synchronous per layer, so a
+// layer's stall is the slowest access in it; affinity prefetches for layer
+// j+1 are issued as soon as layer j's routing is known, overlapping the
+// remaining layer-j compute (plus any stall it suffers).
+func (s *server) memoryStalls(r *replica, batch int, now, computeDur float64) float64 {
+	mem := s.mems[r.id]
+	if !mem.Oversubscribed() {
+		return 0
+	}
+	layers := s.opts.Kernel.Layers
+	perLayer := computeDur / float64(layers)
+	prefetch := mem.Prefetching()
+	t := now
+	total := 0.0
+	seen := make(map[[2]int]bool, batch)
+	for j := 0; j < layers; j++ {
+		clear(seen)
+		stall := 0.0
+		// Demand accesses first: same-instant speculation must never delay
+		// them (Prefetch only uses idle link bandwidth anyway).
+		for i := 0; i < batch; i++ {
+			e := s.paths[i][j]
+			gpu := r.pl.GPUOf(j, e)
+			k := [2]int{gpu, e}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if st := mem.Access(gpu, j, e, t); st > stall {
+				stall = st
+			}
+		}
+		if prefetch && j+1 < layers {
+			for i := 0; i < batch; i++ {
+				for _, sc := range mem.Successors(j, s.paths[i][j]) {
+					mem.Prefetch(r.pl.GPUOf(j+1, sc), j+1, sc, t)
+				}
+			}
+		}
+		total += stall
+		t += perLayer + stall
+	}
+	return total
 }

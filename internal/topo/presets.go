@@ -12,6 +12,12 @@ package topo
 //     staging overhead at the message sizes MoE inference produces).
 //   - Local HBM2e copy: ~1.5 TB/s, negligible latency.
 //
+// The memory-tier figures extend the same philosophy one level down: 80 GB
+// HBM per A100, a PCIe 4.0 x16 host link (~25 GB/s effective) to host DRAM,
+// and a datacenter NVMe drive (~6 GB/s sustained read) behind it. The
+// tiered expert-weight memory subsystem only needs the ordering
+// HBM >> PCIe >> NVMe, which these preserve.
+//
 // The paper's qualitative claims depend only on the ordering
 // LocalCopy >> NVLink >> IB, which these figures preserve.
 func Wilkes3(nodes int) *Topology {
@@ -21,6 +27,9 @@ func Wilkes3(nodes int) *Topology {
 		IntraNode:   LinkCost{Latency: 2e-6, Bandwidth: 300e9},
 		InterNode:   LinkCost{Latency: 5e-6, Bandwidth: 50e9},
 		LocalCopy:   LinkCost{Latency: 1e-7, Bandwidth: 1500e9},
+		HBMBytes:    DefaultHBMBytes,
+		HostLink:    DefaultHostLink,
+		NVMeLink:    DefaultNVMeLink,
 	}
 }
 
@@ -34,6 +43,9 @@ func SingleNode(gpus int) *Topology {
 		IntraNode:   LinkCost{Latency: 2e-6, Bandwidth: 300e9},
 		InterNode:   LinkCost{Latency: 5e-6, Bandwidth: 50e9},
 		LocalCopy:   LinkCost{Latency: 1e-7, Bandwidth: 1500e9},
+		HBMBytes:    DefaultHBMBytes,
+		HostLink:    DefaultHostLink,
+		NVMeLink:    DefaultNVMeLink,
 	}
 }
 

@@ -73,6 +73,59 @@ type Topology struct {
 	// non-zero bandwidth keeps the simulator's time strictly monotone in
 	// bytes moved.
 	LocalCopy LinkCost
+
+	// The memory hierarchy below HBM, used by the tiered expert-weight
+	// memory subsystem (internal/expertmem) to page expert parameters when
+	// the model oversubscribes aggregate GPU memory. Zero values fall back
+	// to DefaultHBMBytes / DefaultHostLink / DefaultNVMeLink via the
+	// accessor methods, so topologies constructed literally by older code
+	// keep working.
+
+	// HBMBytes is one GPU's high-bandwidth-memory capacity in bytes.
+	HBMBytes int64
+	// HostLink is the HBM <-> host-DRAM path (PCIe class), per GPU.
+	HostLink LinkCost
+	// NVMeLink is the host-DRAM <-> NVMe path for expert master copies that
+	// do not fit in host DRAM.
+	NVMeLink LinkCost
+}
+
+// Default memory-tier figures: an A100-SXM4-80GB behind PCIe 4.0 x16
+// (~25 GB/s effective host link) over a datacenter NVMe drive (~6 GB/s
+// sustained read). As with the network links these are effective
+// point-to-point numbers; the tiering conclusions only need the ordering
+// HBM >> PCIe >> NVMe.
+var (
+	DefaultHostLink = LinkCost{Latency: 10e-6, Bandwidth: 25e9}
+	DefaultNVMeLink = LinkCost{Latency: 100e-6, Bandwidth: 6e9}
+)
+
+// DefaultHBMBytes is the per-GPU HBM capacity assumed when a topology does
+// not specify one (A100-80GB).
+const DefaultHBMBytes = int64(80e9)
+
+// HBMCapacity returns the per-GPU HBM byte budget, defaulting when unset.
+func (t *Topology) HBMCapacity() int64 {
+	if t.HBMBytes > 0 {
+		return t.HBMBytes
+	}
+	return DefaultHBMBytes
+}
+
+// HostPath returns the HBM<->host-DRAM link cost, defaulting when unset.
+func (t *Topology) HostPath() LinkCost {
+	if t.HostLink.Bandwidth > 0 {
+		return t.HostLink
+	}
+	return DefaultHostLink
+}
+
+// NVMePath returns the host-DRAM<->NVMe link cost, defaulting when unset.
+func (t *Topology) NVMePath() LinkCost {
+	if t.NVMeLink.Bandwidth > 0 {
+		return t.NVMeLink
+	}
+	return DefaultNVMeLink
 }
 
 // Validate reports an error if the topology is malformed.
@@ -85,6 +138,22 @@ func (t *Topology) Validate() error {
 	}
 	if t.IntraNode.Latency < 0 || t.InterNode.Latency < 0 || t.LocalCopy.Latency < 0 {
 		return fmt.Errorf("topo: latencies must be non-negative")
+	}
+	// Memory-tier fields are optional (zero selects defaults) but must not
+	// be negative or half-specified in a way Time() would misprice.
+	if t.HBMBytes < 0 {
+		return fmt.Errorf("topo: negative HBM capacity %d", t.HBMBytes)
+	}
+	for _, l := range []struct {
+		name string
+		lc   LinkCost
+	}{{"host", t.HostLink}, {"nvme", t.NVMeLink}} {
+		if l.lc.Bandwidth < 0 || l.lc.Latency < 0 {
+			return fmt.Errorf("topo: %s link must have non-negative latency and bandwidth", l.name)
+		}
+		if l.lc.Bandwidth == 0 && l.lc.Latency > 0 {
+			return fmt.Errorf("topo: %s link has latency but no bandwidth", l.name)
+		}
 	}
 	return nil
 }

@@ -187,3 +187,41 @@ func TestHopClassString(t *testing.T) {
 		t.Fatal("HopClass strings wrong")
 	}
 }
+
+func TestMemoryTierDefaults(t *testing.T) {
+	// Presets carry explicit memory-tier figures.
+	w := Wilkes3(2)
+	if w.HBMCapacity() != DefaultHBMBytes || w.HostPath() != DefaultHostLink || w.NVMePath() != DefaultNVMeLink {
+		t.Fatalf("preset tiers wrong: %+v", w)
+	}
+	// A legacy literal topology (zero tier fields) falls back to defaults
+	// and still validates.
+	legacy := &Topology{
+		Nodes: 1, GPUsPerNode: 2,
+		IntraNode: LinkCost{Latency: 1e-6, Bandwidth: 1e11},
+		InterNode: LinkCost{Latency: 1e-6, Bandwidth: 1e10},
+		LocalCopy: LinkCost{Latency: 1e-7, Bandwidth: 1e12},
+	}
+	if err := legacy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.HBMCapacity() != DefaultHBMBytes || legacy.HostPath().Bandwidth != DefaultHostLink.Bandwidth {
+		t.Fatal("legacy topology did not default its memory tiers")
+	}
+	// Host/NVMe tier ordering: HBM-local copy beats host beats NVMe.
+	n := 16 << 20
+	if !(legacy.LocalCopy.Time(n) < legacy.HostPath().Time(n) && legacy.HostPath().Time(n) < legacy.NVMePath().Time(n)) {
+		t.Fatal("memory tier ordering violated")
+	}
+	// Malformed tier fields are rejected.
+	bad := *legacy
+	bad.HBMBytes = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative HBM accepted")
+	}
+	bad = *legacy
+	bad.HostLink = LinkCost{Latency: 1e-6}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("latency-only host link accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/expertmem"
 	"repro/internal/placement"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -63,6 +64,24 @@ type ServeOptions struct {
 	Patience       int
 	Cooldown       float64
 	MinGain        float64
+	// Oversubscription enables tiered expert-weight memory: each replica
+	// GPU's HBM holds assigned-expert-weights/ratio expert slots and the
+	// rest page from host DRAM over the topology's host link
+	// (internal/expertmem). 0 disables the memory layer; 1 builds it with
+	// everything resident (no stalls, by construction); 2 means half the
+	// expert weights fit; values in (0, 1) are rejected.
+	Oversubscription float64
+	// CachePolicy selects the residency policy under oversubscription:
+	// "lru", "lfu", "pin" (static pin-by-popularity), or "affinity" (the
+	// default: affinity-mass eviction plus affinity-guided prefetching).
+	CachePolicy string
+	// PrefetchK is how many affinity successors the prefetcher chases per
+	// routed expert (default 4; affinity policy only).
+	PrefetchK int
+	// HostSlots bounds how many expert master copies fit in host DRAM per
+	// replica; the coldest experts by affinity popularity fall through to
+	// NVMe and pay both hops on a fetch. 0 means everything fits in DRAM.
+	HostSlots int
 	// LatencyBucket is the report time-bucket width in seconds (0 = auto).
 	LatencyBucket float64
 	// Calibration, when set, reuses offline artifacts from a previous
@@ -71,6 +90,58 @@ type ServeOptions struct {
 	Calibration *ServeCalibration
 	// Seed overrides the system seed for the serving run (0 = system seed).
 	Seed uint64
+}
+
+// Validate rejects malformed serving options up front — before the
+// expensive engine calibration runs, and with a field-naming error instead
+// of a deep panic (negative TraceWindow capacity) or a silent degeneration
+// (a negative arrival rate would spin the arrival generator forever). Zero
+// values are legal everywhere they mean "use the default".
+func (o ServeOptions) Validate() error {
+	switch {
+	case o.Replicas < 0:
+		return fmt.Errorf("exflow: Replicas must be positive (zero for the default %d), got %d", serve.DefaultReplicas, o.Replicas)
+	case o.Window < 0:
+		return fmt.Errorf("exflow: TraceWindow capacity must be positive (zero for the default %d), got %d", serve.DefaultWindow, o.Window)
+	case o.MaxBatch < 0:
+		return fmt.Errorf("exflow: MaxBatch must be positive (zero for the default), got %d", o.MaxBatch)
+	case o.DecodeTokens < 0:
+		return fmt.Errorf("exflow: DecodeTokens must be positive (zero for the default), got %d", o.DecodeTokens)
+	case o.ProfileTokens < 0:
+		return fmt.Errorf("exflow: ProfileTokens must be positive (zero for the default), got %d", o.ProfileTokens)
+	case o.LoadFrac < 0:
+		return fmt.Errorf("exflow: LoadFrac must be positive (zero for the default), got %v", o.LoadFrac)
+	case o.CalibIters < 0:
+		return fmt.Errorf("exflow: CalibIters must be positive (zero for the default), got %d", o.CalibIters)
+	case o.CheckInterval < 0 || o.DriftThreshold < 0 || o.Patience < 0 || o.Cooldown < 0 ||
+		o.MinGain < 0 || o.LatencyBucket < 0 || o.PrefetchK < 0:
+		return fmt.Errorf("exflow: detector/controller tunables must be non-negative")
+	case o.Oversubscription < 0 || (o.Oversubscription > 0 && o.Oversubscription < 1):
+		return fmt.Errorf("exflow: Oversubscription must be 0 (off) or >= 1, got %v", o.Oversubscription)
+	case o.HostSlots < 0:
+		return fmt.Errorf("exflow: HostSlots must be non-negative, got %d", o.HostSlots)
+	}
+	if o.Oversubscription > 0 {
+		if _, err := expertmem.ParsePolicy(o.CachePolicy); err != nil {
+			return err
+		}
+	}
+	for i, p := range o.Phases {
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("phase%d", i)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("exflow: phase %q needs a positive Duration, got %v", name, p.Duration)
+		}
+		if p.Rate < 0 {
+			return fmt.Errorf("exflow: phase %q arrival rate must be positive (zero to derive it from LoadFrac), got %v", name, p.Rate)
+		}
+		if _, err := serve.ParseArrivalKind(p.Arrival); err != nil {
+			return fmt.Errorf("exflow: phase %q: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // ServeReport is the outcome of a serving run (see internal/serve.Report).
@@ -97,6 +168,9 @@ type ServeMetrics struct {
 // multi-replica continuous-batching simulation — with live routing-drift
 // detection and (when opts.Adaptive) background expert re-placement.
 func Serve(sys *System, opts ServeOptions) (*ServeReport, *ServeMetrics, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
 	opts = opts.withDefaults(sys)
 	seed := opts.Seed
 	if seed == 0 {
@@ -145,26 +219,30 @@ func Serve(sys *System, opts ServeOptions) (*ServeReport, *ServeMetrics, error) 
 	}
 
 	rep, err := serve.Run(serve.Options{
-		Topo:           sys.Topo,
-		Kernel:         sys.Kernel,
-		TopK:           sys.Model.Cfg.TopK,
-		Placement:      cal.Placement,
-		BaselineCounts: cal.Trace.AllTransitionCounts(),
-		Cost:           met.Cost,
-		ExpertBytes:    int(sys.Model.Cfg.ExpertParams()) * 2, // fp16
-		Replicas:       opts.Replicas,
-		MaxBatch:       opts.MaxBatch,
-		DecodeTokens:   opts.DecodeTokens,
-		Phases:         sphases,
-		Adaptive:       opts.Adaptive,
-		Window:         opts.Window,
-		CheckInterval:  opts.CheckInterval,
-		DriftThreshold: cal.DriftThreshold,
-		Patience:       opts.Patience,
-		Cooldown:       opts.Cooldown,
-		MinGain:        opts.MinGain,
-		LatencyBucket:  opts.LatencyBucket,
-		Seed:           seed,
+		Topo:             sys.Topo,
+		Kernel:           sys.Kernel,
+		TopK:             sys.Model.Cfg.TopK,
+		Placement:        cal.Placement,
+		BaselineCounts:   cal.Trace.AllTransitionCounts(),
+		Cost:             met.Cost,
+		ExpertBytes:      int(sys.Model.Cfg.ExpertParams()) * 2, // fp16
+		Replicas:         opts.Replicas,
+		MaxBatch:         opts.MaxBatch,
+		DecodeTokens:     opts.DecodeTokens,
+		Phases:           sphases,
+		Adaptive:         opts.Adaptive,
+		Window:           opts.Window,
+		CheckInterval:    opts.CheckInterval,
+		DriftThreshold:   cal.DriftThreshold,
+		Patience:         opts.Patience,
+		Cooldown:         opts.Cooldown,
+		MinGain:          opts.MinGain,
+		Oversubscription: opts.Oversubscription,
+		CachePolicy:      opts.CachePolicy,
+		PrefetchK:        opts.PrefetchK,
+		HostSlots:        opts.HostSlots,
+		LatencyBucket:    opts.LatencyBucket,
+		Seed:             seed,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -190,6 +268,9 @@ type ServeCalibration struct {
 // the locality-aware iteration-cost model from real engine runs, and
 // resolves the drift threshold.
 func CalibrateServe(sys *System, opts ServeOptions) (*ServeCalibration, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults(sys)
 	tr := sys.Profile(opts.ProfileTokens)
 	pl := sys.SolvePlacement(tr)

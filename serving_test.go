@@ -1,0 +1,57 @@
+package exflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/moe"
+)
+
+// TestServeOptionValidation: malformed serving options must fail fast with
+// a field-naming error — before the expensive engine calibration — instead
+// of panicking (negative window) or hanging (negative arrival rate spins
+// the arrival generator forever).
+func TestServeOptionValidation(t *testing.T) {
+	cfg := moe.GPTM(8)
+	cfg.Layers = 4
+	sys := NewSystem(SystemOptions{Model: cfg, GPUs: 4, Seed: 1})
+
+	cases := []struct {
+		name string
+		opts ServeOptions
+		want string
+	}{
+		{"negative replicas", ServeOptions{Replicas: -2}, "Replicas"},
+		{"negative window", ServeOptions{Window: -1}, "TraceWindow"},
+		{"negative max batch", ServeOptions{MaxBatch: -8}, "MaxBatch"},
+		{"negative decode", ServeOptions{DecodeTokens: -1}, "DecodeTokens"},
+		{"negative profile", ServeOptions{ProfileTokens: -10}, "ProfileTokens"},
+		{"negative load", ServeOptions{LoadFrac: -0.5}, "LoadFrac"},
+		{"negative rate", ServeOptions{Phases: []ServePhase{{Duration: 1, Rate: -3}}}, "rate"},
+		{"zero duration", ServeOptions{Phases: []ServePhase{{Duration: 0, Rate: 1}}}, "Duration"},
+		{"negative duration", ServeOptions{Phases: []ServePhase{{Duration: -2, Rate: 1}}}, "Duration"},
+		{"bad arrival", ServeOptions{Phases: []ServePhase{{Duration: 1, Rate: 1, Arrival: "fractal"}}}, "arrival"},
+		{"negative patience", ServeOptions{Patience: -1}, "non-negative"},
+		{"fractional oversub", ServeOptions{Oversubscription: 0.5}, "Oversubscription"},
+		{"negative oversub", ServeOptions{Oversubscription: -2}, "Oversubscription"},
+		{"negative host slots", ServeOptions{HostSlots: -1}, "HostSlots"},
+		{"bad cache policy", ServeOptions{Oversubscription: 2, CachePolicy: "lru2"}, "cache policy"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := Serve(sys, c.opts); err == nil {
+				t.Fatalf("Serve accepted %+v", c.opts)
+			} else if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not name %q", err, c.want)
+			}
+			if _, err := CalibrateServe(sys, c.opts); err == nil {
+				t.Fatalf("CalibrateServe accepted %+v", c.opts)
+			}
+		})
+	}
+
+	// Zero values everywhere remain legal: they mean "use the defaults".
+	if err := (ServeOptions{}).Validate(); err != nil {
+		t.Fatalf("zero options must validate: %v", err)
+	}
+}
