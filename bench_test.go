@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/expertmem"
 	"repro/internal/moe"
+	"repro/internal/placement"
 )
 
 // benchOpts is the shared scale for the per-figure experiment benches.
@@ -287,4 +289,30 @@ func BenchmarkOversubscribedIteration(b *testing.B) {
 			b.ReportMetric(rep.ExpertMem.HitRate(), "hit-rate")
 		}
 	}
+}
+
+func BenchmarkMemoryAwareAnneal(b *testing.B) {
+	// The annealer with the expert-stall term active: every proposal prices
+	// both the crossing delta (O(E)) and the two affected GPUs' residency
+	// re-sort (O(PerGPU log PerGPU)) — the hot path of memory-aware solves.
+	cfg := moe.GPTM(32)
+	cfg.Layers = 16
+	sys := NewSystem(SystemOptions{Model: cfg, GPUs: 8, Seed: 1})
+	tr := sys.Profile(3000)
+	counts := tr.AllTransitionCounts()
+	pol, err := expertmem.ParsePolicy("affinity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mcfg := expertmem.ConfigFor(sys.Topo, cfg.Layers, cfg.Experts, int(cfg.ExpertParams())*2,
+		2, pol, 4, 0, counts)
+	mo := placement.NewMemoryObjective(mcfg, 0)
+	init := placement.Contiguous(cfg.Layers, cfg.Experts, 8)
+	b.ResetTimer()
+	var out *placement.Placement
+	for i := 0; i < b.N; i++ {
+		out = placement.Anneal(counts, init, placement.AnnealOptions{Seed: uint64(i), Memory: mo})
+	}
+	b.ReportMetric(mo.StallPerToken(out)*1e3, "stall-ms-per-token")
+	b.ReportMetric(out.Crossings(counts), "crossings")
 }

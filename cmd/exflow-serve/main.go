@@ -111,6 +111,7 @@ func main() {
 		replicas  = flag.Int("replicas", 2, "replica count behind the front-end")
 		drift     = flag.Bool("drift", false, "inject a mid-run dataset drift and compare static vs adaptive")
 		oversub   = flag.Bool("oversub", false, "sweep tiered expert-weight memory: cache policies x oversubscription ratios, write BENCH_expertmem.json")
+		memaware  = flag.Bool("memaware", false, "with -oversub: add a memory-aware-placement arm per ratio (expert-stall cost folded into the solver objective) and compare against crossing-only")
 		hostSlots = flag.Int("hostslots", 0, "with -oversub: bound host-DRAM expert master copies per replica; coldest experts fall to NVMe (0 = all fit in DRAM)")
 		arrival   = flag.String("arrival", "poisson", "arrival process: poisson | bursty | diurnal")
 		load      = flag.Float64("load", 0.97, "offered load as a fraction of the calibrated capacity knee")
@@ -155,7 +156,7 @@ func main() {
 		runOversubSweep(sys, cfg, oversubConfig{
 			gpus: *gpus, replicas: *replicas, decode: *decode, hostSlots: *hostSlots,
 			seed: *seed, dur: *warm + *duration, arrival: *arrival, provision: provision,
-			jsonPath: path,
+			jsonPath: path, memaware: *memaware,
 		})
 		return
 	}
@@ -274,10 +275,12 @@ func addSeries(tb *stats.Table, s *stats.Series, name string) {
 	c.Y = append(c.Y, s.Y...)
 }
 
-// memRunJSON is one cell of the oversubscription sweep.
+// memRunJSON is one cell of the oversubscription sweep. Placement is empty
+// for the crossing-only solver and "memory-aware" for the -memaware arm.
 type memRunJSON struct {
 	Ratio            float64 `json:"oversubscription"`
 	Policy           string  `json:"policy"`
+	Placement        string  `json:"placement,omitempty"`
 	OfferedRPS       float64 `json:"offered_req_per_sec"`
 	HitRate          float64 `json:"hit_rate"`
 	LateHits         int     `json:"late_hits"`
@@ -318,6 +321,24 @@ type memSummaryJSON struct {
 		LRU2xP95             float64 `json:"lru_2x_p95_s"`
 		AffinityBeatsLRUAt2x bool    `json:"affinity_beats_lru_at_2x"`
 	} `json:"acceptance"`
+
+	// MemAware compares crossing-only vs memory-aware placement per ratio
+	// (affinity policy, identical offered rate); present with -memaware.
+	MemAware *memAwareJSON `json:"memaware,omitempty"`
+}
+
+// memAwareJSON summarizes the -memaware arm.
+type memAwareJSON struct {
+	// OneXBitIdentical: at 1x the memory term is inactive, so the
+	// memory-aware solve must reproduce the crossing-only placement (and
+	// hence the whole run) exactly.
+	OneXBitIdentical bool `json:"one_x_bit_identical"`
+	// Per-ratio deltas (memory-aware minus crossing-only).
+	HitRateDelta2x        float64 `json:"hit_rate_delta_2x"`
+	P95Delta2xSeconds     float64 `json:"p95_delta_2x_s"`
+	HitRateDelta4x        float64 `json:"hit_rate_delta_4x"`
+	P95Delta4xSeconds     float64 `json:"p95_delta_4x_s"`
+	BeatsCrossingOnlyAt2x bool    `json:"beats_crossing_only_at_2x"`
 }
 
 // oversubConfig carries the sweep's knobs from the flag set.
@@ -326,6 +347,7 @@ type oversubConfig struct {
 	seed                              uint64
 	dur, provision                    float64
 	arrival, jsonPath                 string
+	memaware                          bool
 }
 
 // runOversubSweep serves steady traffic under tiered expert-weight memory
@@ -359,10 +381,12 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 		HBMPerGPUGB:     float64(sys.Topo.HBMCapacity()) / 1e9,
 	}
 
-	run := func(ratio float64, policy string, rate float64) *exflow.ServeReport {
+	runWith := func(ratio float64, policy string, rate float64, c *exflow.ServeCalibration, aware bool) *exflow.ServeReport {
 		o := base
+		o.Calibration = c
 		o.Oversubscription = ratio
 		o.CachePolicy = policy
+		o.MemoryAware = aware
 		o.Phases = []exflow.ServePhase{{Name: "steady", Duration: dur, Rate: rate, Arrival: oc.arrival}}
 		rep, _, err := exflow.Serve(sys, o)
 		if err != nil {
@@ -371,13 +395,41 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 		}
 		return rep
 	}
+	run := func(ratio float64, policy string, rate float64) *exflow.ServeReport {
+		return runWith(ratio, policy, rate, cal, false)
+	}
 
 	baseRate := oc.provision * cal.Metrics.RequestCapacity
 	disabled := run(0, "", baseRate)
 	sum.DisabledP95 = disabled.Overall.P95
 	fmt.Printf("memory disabled: P95 %.4fs at %.1f req/s\n", disabled.Overall.P95, baseRate)
 
+	record := func(ratio float64, policy, placement string, rate float64, rep *exflow.ServeReport) float64 {
+		em := rep.ExpertMem
+		hit := em.EffectiveHitRate()
+		sum.Runs = append(sum.Runs, memRunJSON{
+			Ratio: ratio, Policy: policy, Placement: placement, OfferedRPS: rate,
+			HitRate: hit, LateHits: em.LateHits, Misses: em.Misses,
+			Prefetches: em.Prefetches, PrefetchHits: em.PrefetchHits, WastedPrefetches: em.WastedPrefetches,
+			StallPerToken: rep.MemStallSeconds / float64(rep.Tokens), AccessStallTotal: em.StallSeconds,
+			P50: rep.Overall.P50, P95: rep.Overall.P95, P99: rep.Overall.P99,
+			Throughput: rep.Overall.Throughput,
+		})
+		label := policy
+		if placement != "" {
+			label += "+" + placement
+		}
+		fmt.Printf("  %.1fx %-17s hit %5.1f%%  P95 %8.4fs  stall/token %.3fms  (%.1f req/s offered)\n",
+			ratio, label, hit*100, rep.Overall.P95, rep.MemStallSeconds/float64(rep.Tokens)*1e3, rate)
+		return hit
+	}
+
 	var oneX, lru2x, aff2x *exflow.ServeReport
+	affHit := map[float64]float64{}
+	affRep := map[float64]*exflow.ServeReport{}
+	memHit := map[float64]float64{}
+	memRep := map[float64]*exflow.ServeReport{}
+	memOneXIdentical := false
 	for _, ratio := range exflow.MemorySweepRatios {
 		rate := baseRate
 		policies := expertmem.PolicyNames()
@@ -395,23 +447,10 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 		}
 		for _, policy := range policies {
 			rep := run(ratio, policy, rate)
-			em := rep.ExpertMem
-			hit := em.HitRate()
-			if em.Accesses == 0 {
-				// No paging happened (1x short-circuit): every access was
-				// resident by construction.
-				hit = 1
+			hit := record(ratio, policy, "", rate, rep)
+			if policy == "affinity" {
+				affHit[ratio], affRep[ratio] = hit, rep
 			}
-			sum.Runs = append(sum.Runs, memRunJSON{
-				Ratio: ratio, Policy: policy, OfferedRPS: rate,
-				HitRate: hit, LateHits: em.LateHits, Misses: em.Misses,
-				Prefetches: em.Prefetches, PrefetchHits: em.PrefetchHits, WastedPrefetches: em.WastedPrefetches,
-				StallPerToken: rep.MemStallSeconds / float64(rep.Tokens), AccessStallTotal: em.StallSeconds,
-				P50: rep.Overall.P50, P95: rep.Overall.P95, P99: rep.Overall.P99,
-				Throughput: rep.Overall.Throughput,
-			})
-			fmt.Printf("  %.1fx %-8s hit %5.1f%%  P95 %8.4fs  stall/token %.3fms  (%.1f req/s offered)\n",
-				ratio, policy, hit*100, rep.Overall.P95, rep.MemStallSeconds/float64(rep.Tokens)*1e3, rate)
 			switch {
 			case ratio == 1 && policy == "affinity":
 				oneX = rep
@@ -419,6 +458,21 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 				lru2x = rep
 			case ratio == 2 && policy == "affinity":
 				aff2x = rep
+			}
+		}
+		if oc.memaware {
+			// The memory-aware arm: same policy, same offered rate, but the
+			// placement was solved with the expert-stall term in the
+			// objective. At 1x the term is inactive and the solve must be
+			// bit-identical to the crossing-only one.
+			memPl := sys.SolvePlacementMemoryAware(cal.Trace, ratio, "affinity", 0, oc.hostSlots)
+			calMem := *cal
+			calMem.Placement = memPl
+			rep := runWith(ratio, "affinity", rate, &calMem, true)
+			memHit[ratio], memRep[ratio] = record(ratio, "affinity", "memory-aware", rate, rep), rep
+			if ratio == 1 {
+				memOneXIdentical = memPl.Equal(cal.Placement) &&
+					rep.Overall.P95 == affRep[1].Overall.P95 && rep.Makespan == affRep[1].Makespan
 			}
 		}
 	}
@@ -438,6 +492,25 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 	fmt.Printf("\n1x vs disabled: P95 delta %+.6fs (exact match: %v)\n", a.OneXP95DeltaSeconds, a.OneXMatchesDisabled)
 	fmt.Printf("2x acceptance: affinity hit %.1f%% vs lru %.1f%%, P95 %.4fs vs %.4fs -> beats lru: %v\n",
 		a.Affinity2xHitRate*100, a.LRU2xHitRate*100, a.Affinity2xP95, a.LRU2xP95, a.AffinityBeatsLRUAt2x)
+
+	if oc.memaware {
+		ma := &memAwareJSON{OneXBitIdentical: memOneXIdentical}
+		if m, c := memRep[2], affRep[2]; m != nil && c != nil {
+			ma.HitRateDelta2x = memHit[2] - affHit[2]
+			ma.P95Delta2xSeconds = m.Overall.P95 - c.Overall.P95
+			ma.BeatsCrossingOnlyAt2x = ma.HitRateDelta2x > 0 && ma.P95Delta2xSeconds < 0
+		}
+		if m, c := memRep[4], affRep[4]; m != nil && c != nil {
+			ma.HitRateDelta4x = memHit[4] - affHit[4]
+			ma.P95Delta4xSeconds = m.Overall.P95 - c.Overall.P95
+		}
+		sum.MemAware = ma
+		fmt.Printf("memory-aware placement: 1x bit-identical to crossing-only: %v\n", ma.OneXBitIdentical)
+		fmt.Printf("memory-aware vs crossing-only at 2x: hit %+.1fpp, P95 %+.4fs -> beats crossing-only: %v\n",
+			ma.HitRateDelta2x*100, ma.P95Delta2xSeconds, ma.BeatsCrossingOnlyAt2x)
+		fmt.Printf("memory-aware vs crossing-only at 4x: hit %+.1fpp, P95 %+.4fs\n",
+			ma.HitRateDelta4x*100, ma.P95Delta4xSeconds)
+	}
 
 	if jsonPath != "-" {
 		blob, err := json.MarshalIndent(sum, "", "  ")

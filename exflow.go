@@ -130,6 +130,40 @@ func (s *System) SolvePlacement(tr *trace.Trace) *placement.Placement {
 	return placement.Staged(tr.AllTransitionCounts(), s.Model.Cfg.Layers, s.Model.Cfg.Experts, s.Topo, s.Seed)
 }
 
+// SolvePlacementMemoryAware runs the staged pipeline with the expected
+// expert-stall cost folded into the solver objective for a tiered-memory
+// deployment (placement.MemoryObjective): the profiling trace supplies both
+// the crossing structure and the demand-mass oracle, so the solver stops
+// concentrating the hot set past what each GPU's HBM slot budget can hold.
+// The arguments mirror Workload/ServeOptions: oversub >= 1 (values below 1
+// panic; exactly 1, or 0, leaves the term inactive and the result
+// bit-identical to SolvePlacement), policy names an expertmem cache policy
+// ("" = affinity), prefetchK 0 means the default 4, and hostSlots bounds
+// the DRAM master-copy set (NVMe-resident experts cost more to miss, which
+// the objective prices).
+func (s *System) SolvePlacementMemoryAware(tr *trace.Trace, oversub float64, policy string, prefetchK, hostSlots int) *placement.Placement {
+	cfg := s.Model.Cfg
+	counts := tr.AllTransitionCounts()
+	if oversub == 0 {
+		return placement.Staged(counts, cfg.Layers, cfg.Experts, s.Topo, s.Seed)
+	}
+	if oversub < 1 {
+		panic(fmt.Sprintf("exflow: oversubscription must be 0 (off) or >= 1, got %v", oversub))
+	}
+	pol, err := expertmem.ParsePolicy(policy)
+	if err != nil {
+		panic(err)
+	}
+	if prefetchK == 0 {
+		prefetchK = 4
+	}
+	mcfg := expertmem.ConfigFor(s.Topo, cfg.Layers, cfg.Experts, int(cfg.ExpertParams())*2, // fp16
+		oversub, pol, prefetchK, hostSlots, counts)
+	mo := placement.NewMemoryObjective(mcfg, 0)
+	return placement.StagedOpt(counts, cfg.Layers, cfg.Experts, s.Topo, s.Seed,
+		placement.StagedOptions{Memory: mo})
+}
+
 // Baseline returns the Deepspeed-MoE contiguous placement.
 func (s *System) Baseline() *placement.Placement {
 	return placement.Contiguous(s.Model.Cfg.Layers, s.Model.Cfg.Experts, s.Topo.TotalGPUs())
@@ -180,38 +214,45 @@ func (w Workload) withDefaults() Workload {
 	return w
 }
 
+// memoryConfigFor derives the engine path's tiered expert-memory config
+// from a workload, or nil when the memory layer is off. The kernel's
+// ground-truth transition rows stand in for a profiled affinity estimate —
+// the engine path has no trace in hand. The stall-model conformance suite
+// reuses it so its serve-layer replay sees the identical oracle.
+func (s *System) memoryConfigFor(w Workload) *expertmem.Config {
+	if w.Oversubscription == 0 {
+		return nil
+	}
+	if w.Oversubscription < 1 {
+		panic(fmt.Sprintf("exflow: Workload.Oversubscription must be 0 (off) or >= 1, got %v", w.Oversubscription))
+	}
+	pol, err := expertmem.ParsePolicy(w.CachePolicy)
+	if err != nil {
+		panic(err)
+	}
+	k := w.PrefetchK
+	if k == 0 {
+		k = 4
+	}
+	cfg := s.Model.Cfg
+	aff := make([][][]float64, cfg.Layers-1)
+	for l := range aff {
+		aff[l] = make([][]float64, cfg.Experts)
+		for from := range aff[l] {
+			aff[l][from] = s.Kernel.Transition(l, from)
+		}
+	}
+	mc := expertmem.ConfigFor(s.Topo, cfg.Layers, cfg.Experts, int(cfg.ExpertParams())*2, // fp16
+		w.Oversubscription, pol, k, 0, aff)
+	return &mc
+}
+
 // Run executes distributed inference in the given mode under the given
 // placement and returns the measurement report.
 func (s *System) Run(mode engine.Mode, pl *placement.Placement, w Workload) *engine.Report {
 	w = w.withDefaults()
 	ds := s.Dataset
-	var memCfg *expertmem.Config
-	if w.Oversubscription > 0 {
-		if w.Oversubscription < 1 {
-			panic(fmt.Sprintf("exflow: Workload.Oversubscription must be 0 (off) or >= 1, got %v", w.Oversubscription))
-		}
-		pol, err := expertmem.ParsePolicy(w.CachePolicy)
-		if err != nil {
-			panic(err)
-		}
-		k := w.PrefetchK
-		if k == 0 {
-			k = 4
-		}
-		cfg := s.Model.Cfg
-		// The kernel's ground-truth transition rows stand in for a profiled
-		// affinity estimate — the engine path has no trace in hand.
-		aff := make([][][]float64, cfg.Layers-1)
-		for l := range aff {
-			aff[l] = make([][]float64, cfg.Experts)
-			for from := range aff[l] {
-				aff[l][from] = s.Kernel.Transition(l, from)
-			}
-		}
-		mc := expertmem.ConfigFor(s.Topo, cfg.Layers, cfg.Experts, int(cfg.ExpertParams())*2, // fp16
-			w.Oversubscription, pol, k, 0, aff)
-		memCfg = &mc
-	}
+	memCfg := s.memoryConfigFor(w)
 	return engine.Run(engine.Config{
 		Model:           s.Model,
 		Router:          s.Router,

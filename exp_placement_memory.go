@@ -1,0 +1,97 @@
+package exflow
+
+import (
+	"repro/internal/engine"
+	"repro/internal/expertmem"
+	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/stats"
+)
+
+// seriesLast returns a series' most recent y value (0 when empty).
+func seriesLast(s *stats.Series) float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+func init() {
+	register("placement_memory", runPlacementMemory)
+}
+
+// runPlacementMemory quantifies the ROADMAP's "co-locating affinity chains
+// also concentrates the hot set" interaction on the offline path: at each
+// oversubscription ratio it solves the placement twice — crossing-only
+// (the paper's objective) and memory-aware (expected expert-stall folded
+// into the annealer) — and measures both through full engine runs under
+// tiered expert-weight memory. The model's predicted stall per token is
+// reported alongside the engine's measured stall so the objective itself is
+// validated, not just its effect.
+func runPlacementMemory(opts ExperimentOptions) *Result {
+	res := &Result{ID: "placement_memory", Title: "Memory-aware placement: folding expert residency into the solver objective"}
+	cfg := moe.GPTM(32)
+	cfg.Layers = opts.scaled(12, 8)
+	sys := NewSystem(SystemOptions{Model: cfg, GPUs: 8, Seed: opts.Seed + 17, DomainTilt: servingDomainTilt})
+
+	tr := sys.Profile(opts.scaled(3000, 2000))
+	counts := tr.AllTransitionCounts()
+	crossOnly := sys.SolvePlacement(tr)
+
+	w := Workload{
+		RequestsPerGPU: opts.scaled(8, 4),
+		PromptLen:      8,
+		GenerateTokens: opts.scaled(6, 3),
+		CachePolicy:    "affinity",
+	}
+
+	tbHit := newTableHelper(res, "engine expert hit rate by oversubscription ratio", "oversub-ratio")
+	tbStall := newTableHelper(res, "expert-stall seconds per generated token (engine-measured)", "oversub-ratio")
+	tbPred := newTableHelper(res, "objective-predicted stall seconds per token", "oversub-ratio")
+	tbCross := newTableHelper(res, "placement crossings on the profiling trace", "oversub-ratio")
+	arms := []string{"crossing-only", "memory-aware"}
+	series := map[string][4]*stats.Series{}
+	for _, arm := range arms {
+		series[arm] = [4]*stats.Series{
+			tbHit.NewSeries(arm), tbStall.NewSeries(arm),
+			tbPred.NewSeries(arm), tbCross.NewSeries(arm),
+		}
+	}
+
+	for _, ratio := range []float64{1, 2, 4} {
+		// The objective the memory-aware arm optimized, rebuilt here to score
+		// BOTH arms' predicted stall on equal footing.
+		pol, _ := expertmem.ParsePolicy("affinity")
+		mcfg := expertmem.ConfigFor(sys.Topo, cfg.Layers, cfg.Experts, int(cfg.ExpertParams())*2,
+			ratio, pol, 4, 0, counts)
+		mo := placement.NewMemoryObjective(mcfg, 0)
+		memAware := sys.SolvePlacementMemoryAware(tr, ratio, "affinity", 0, 0)
+
+		if ratio == 1 {
+			if crossOnly.Equal(memAware) {
+				res.AddNote("1x: memory term inactive, memory-aware solve bit-identical to crossing-only")
+			} else {
+				res.AddNote("WARNING: 1x memory-aware solve diverged from crossing-only")
+			}
+		}
+
+		wr := w
+		wr.Oversubscription = ratio
+		for i, pl := range []*placement.Placement{crossOnly, memAware} {
+			rep := sys.Run(engine.ExFlow, pl, wr)
+			s := series[arms[i]]
+			s[0].Add(ratio, rep.ExpertMem.EffectiveHitRate())
+			s[1].Add(ratio, rep.Breakdown["expert-stall"]*float64(sys.Topo.TotalGPUs())/float64(rep.GeneratedTokens))
+			s[2].Add(ratio, mo.StallPerToken(pl))
+			s[3].Add(ratio, pl.Crossings(counts))
+		}
+		if ratio == 2 {
+			co, ma := series["crossing-only"], series["memory-aware"]
+			res.AddNote("2x: memory-aware placement hit %.1f%% vs crossing-only %.1f%% (predicted stall/token %.3fms vs %.3fms, crossings +%.0f%%)",
+				seriesLast(ma[0])*100, seriesLast(co[0])*100, seriesLast(ma[2])*1e3, seriesLast(co[2])*1e3,
+				(seriesLast(ma[3])/seriesLast(co[3])-1)*100)
+		}
+	}
+	res.AddNote("the memory-aware arm trades crossings for hot-set dilution; the trade pays once fetch cost dominates hop cost (oversubscription >= 2)")
+	return res
+}

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation_coherence", "ablation_solvers", "ablation_staged", "ablation_replication",
 		"ablation_top2", "ablation_capacity", "ablation_hierarchical",
 		"ablation_learnedgate", "ablation_migration", "serving_latency",
-		"serving_adaptive", "expert_memory",
+		"serving_adaptive", "expert_memory", "placement_memory",
 	}
 	have := map[string]bool{}
 	for _, id := range Experiments() {
@@ -269,6 +269,46 @@ func TestServingAdaptiveRecovers(t *testing.T) {
 	}
 	if !migrated {
 		t.Fatal("adaptive fleet should have migrated under drift")
+	}
+}
+
+func TestPlacementMemoryExperiment(t *testing.T) {
+	t.Parallel()
+	res, err := RunExperiment("placement_memory", ExperimentOptions{Scale: 0.15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical := false
+	for _, n := range res.Notes {
+		if strings.HasPrefix(n, "1x: memory term inactive") {
+			bitIdentical = true
+		}
+		if strings.HasPrefix(n, "WARNING") {
+			t.Fatalf("experiment flagged a broken invariant: %s", n)
+		}
+	}
+	if !bitIdentical {
+		t.Fatalf("1x bit-identical note missing; notes: %v", res.Notes)
+	}
+	// Table 2 is the objective-predicted stall: the memory-aware solve must
+	// never predict worse than crossing-only on its own objective.
+	var cross, aware *seriesRef
+	for _, s := range res.Tables[2].SeriesL {
+		switch s.Name {
+		case "crossing-only":
+			cross = &seriesRef{x: s.X, y: s.Y}
+		case "memory-aware":
+			aware = &seriesRef{x: s.X, y: s.Y}
+		}
+	}
+	if cross == nil || aware == nil {
+		t.Fatal("predicted-stall table malformed")
+	}
+	for i := range cross.x {
+		if aware.y[i] > cross.y[i]+1e-12 {
+			t.Fatalf("at %vx the memory-aware solve predicts more stall than crossing-only: %v vs %v",
+				cross.x[i], aware.y[i], cross.y[i])
+		}
 	}
 }
 

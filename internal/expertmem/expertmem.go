@@ -197,6 +197,17 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Accesses)
 }
 
+// EffectiveHitRate is HitRate with the reporting convention for runs that
+// recorded no accesses: the serving path skips the manager entirely when
+// the budget is not binding (the 1x short-circuit), so zero accesses means
+// every access was resident by construction — a 100% hit rate, not 0.
+func (s Stats) EffectiveHitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return s.HitRate()
+}
+
 // Add accumulates another stats block.
 func (s *Stats) Add(o Stats) {
 	s.Accesses += o.Accesses
@@ -350,6 +361,12 @@ func topKIndices(row []float64, k int) []int {
 func (m *Manager) popOf(layer, expert int) float64 {
 	return m.popularity[layer*m.cfg.Experts+expert]
 }
+
+// Popularity returns the affinity-derived demand mass of (layer, expert) —
+// the score Warm preloads by and the pin/affinity policies rank by. The
+// memory-aware placement objective reads it so the solver and the runtime
+// policy agree on what "hot" means.
+func (m *Manager) Popularity(layer, expert int) float64 { return m.popOf(layer, expert) }
 
 // Successors returns the top-K experts most likely at layer+1 given the
 // routed expert at layer — the affinity matrix read as a prefetch oracle.

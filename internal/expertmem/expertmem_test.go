@@ -2,6 +2,7 @@ package expertmem
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/topo"
@@ -323,6 +324,102 @@ func TestWarmPreloadsMostPopular(t *testing.T) {
 	for g := 0; g < 2; g++ {
 		if m.shards[g].used != 3 {
 			t.Fatalf("gpu %d warm used %d slots", g, m.shards[g].used)
+		}
+	}
+}
+
+func TestHostSlotsZeroKeepsEverythingInDRAM(t *testing.T) {
+	// HostSlots == 0 means the DRAM working set is unbounded: no master
+	// copy may fall to NVMe and every fetch pays the host link only.
+	cfg := testConfig(1, LRU())
+	cfg.HostSlots = 0
+	m := New(cfg)
+	if m.hostOnNVMe != nil {
+		t.Fatalf("HostSlots=0 built an NVMe split: %v", m.hostOnNVMe)
+	}
+	for l := 0; l < 3; l++ {
+		for e := 0; e < 4; e++ {
+			if ft := m.FetchSeconds(l, e); !almost(ft, testFetch) {
+				t.Fatalf("fetch(%d,%d) = %v, want host-only %v", l, e, ft, testFetch)
+			}
+		}
+	}
+	// A budget covering every expert behaves identically to zero.
+	cfg.HostSlots = 12 // == Layers*Experts
+	if m2 := New(cfg); m2.hostOnNVMe != nil {
+		t.Fatal("all-fitting HostSlots built an NVMe split")
+	}
+}
+
+func TestPrefetchKAtLeastExperts(t *testing.T) {
+	// PrefetchK >= experts must clamp to the positive-mass successors, not
+	// pad or panic; every successor list stays within the expert universe
+	// and in decreasing-mass order.
+	cfg := testConfig(2, AffinityPrefetch())
+	cfg.PrefetchK = 100 // far beyond the 4-expert universe
+	m := New(cfg)
+	for l := 0; l < 2; l++ {
+		for from := 0; from < 4; from++ {
+			succ := m.Successors(l, from)
+			// The test affinity rows have exactly 3 positive entries.
+			if len(succ) != 3 {
+				t.Fatalf("successors(%d,%d) = %v, want the 3 positive-mass entries", l, from, succ)
+			}
+			for i, e := range succ {
+				if e < 0 || e >= 4 {
+					t.Fatalf("successor out of range: %v", succ)
+				}
+				if i > 0 && m.cfg.Affinity[l][from][succ[i-1]] < m.cfg.Affinity[l][from][e] {
+					t.Fatalf("successors not mass-ordered: %v", succ)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleSlotThrash(t *testing.T) {
+	// One HBM slot under a cyclic two-expert scan is the worst case for any
+	// recency/frequency policy: every access misses, every miss evicts, and
+	// the accounting must stay exact (no bypasses — a slot is always
+	// reclaimable once the previous transfer landed).
+	m := New(testConfig(1, LRU()))
+	accesses := 0
+	now := 0.0
+	for round := 0; round < 10; round++ {
+		for _, e := range []int{0, 1} {
+			now += 2 * testFetch // let each transfer land before the next access
+			if st := m.Access(0, 0, e, now); !almost(st, testFetch) {
+				t.Fatalf("round %d expert %d: stall %v, want full fetch %v", round, e, st, testFetch)
+			}
+			accesses++
+		}
+	}
+	st := m.Stats()
+	if st.Accesses != accesses || st.Hits != 0 || st.Misses != accesses {
+		t.Fatalf("thrash stats %+v, want %d pure misses", st, accesses)
+	}
+	if st.Evictions != accesses-1 || st.Bypasses != 0 {
+		t.Fatalf("thrash stats %+v: want %d evictions, 0 bypasses", st, accesses-1)
+	}
+	if !almost(st.StallSeconds, float64(accesses)*testFetch) {
+		t.Fatalf("thrash stall %v, want %v", st.StallSeconds, float64(accesses)*testFetch)
+	}
+}
+
+func TestParsePolicyRejectionMessage(t *testing.T) {
+	// The error must name the offending input and list every known policy —
+	// it surfaces verbatim through CLI flags and ServeOptions.Validate.
+	_, err := ParsePolicy("clockpro")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"clockpro"`) {
+		t.Fatalf("error %q does not quote the unknown name", msg)
+	}
+	for _, name := range PolicyNames() {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not list known policy %q", msg, name)
 		}
 	}
 }

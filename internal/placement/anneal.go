@@ -14,6 +14,11 @@ type AnnealOptions struct {
 	// as a fraction of the initial objective; zeros mean 0.02 and 1e-5.
 	StartTemp, EndTemp float64
 	Seed               uint64
+	// Memory, when active (a binding HBM slot budget), folds the expected
+	// expert-stall cost into the objective: the annealer prices both the
+	// crossing change and the hot-set concentration change of every proposed
+	// swap. Nil or inactive leaves the crossing-only path bit-identical.
+	Memory *MemoryObjective
 }
 
 // Anneal refines a placement by intra-layer expert swaps under a
@@ -24,6 +29,9 @@ type AnnealOptions struct {
 // The move delta is evaluated incrementally: swapping experts a and b at
 // layer j only changes crossings on transitions incident to a or b at
 // layers j-1->j and j->j+1, so each proposal is O(E) rather than O(L*E^2).
+// With an active memory objective the stall delta is likewise incremental:
+// only the two affected GPUs' residency sets are re-priced (memState), never
+// the whole placement.
 func Anneal(counts [][][]float64, init *Placement, opts AnnealOptions) *Placement {
 	iters := opts.Iterations
 	if iters <= 0 {
@@ -38,6 +46,14 @@ func Anneal(counts [][][]float64, init *Placement, opts AnnealOptions) *Placemen
 	}
 	p := init.Clone()
 	cur := p.Crossings(counts)
+	memActive := opts.Memory.Active()
+	var ms *memState
+	var invHop float64
+	if memActive {
+		ms = newMemState(opts.Memory, p)
+		invHop = 1 / opts.Memory.HopSeconds
+		cur += ms.total * invHop
+	}
 	best := p.Clone()
 	bestObj := cur
 	if p.GPUs == 1 {
@@ -108,8 +124,17 @@ func Anneal(counts [][][]float64, init *Placement, opts AnnealOptions) *Placemen
 			continue
 		}
 		delta := layerDelta(j, a, b)
+		ga, gb := p.Assign[j][a], p.Assign[j][b]
+		var memGa, memGb float64
+		if memActive {
+			memGa, memGb = ms.swapCost(j, a, b, ga, gb)
+			delta += (memGa + memGb - ms.cost[ga] - ms.cost[gb]) * invHop
+		}
 		if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
 			p.Assign[j][a], p.Assign[j][b] = p.Assign[j][b], p.Assign[j][a]
+			if memActive {
+				ms.apply(j, a, b, ga, gb, memGa, memGb)
+			}
 			cur += delta
 			if cur < bestObj {
 				bestObj = cur

@@ -1,0 +1,294 @@
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/expertmem"
+)
+
+// DefaultHopSeconds is the per-crossing service cost assumed when a
+// MemoryObjective is built without a fitted cost model: the magnitude of one
+// cross-node token hop on the simulated hardware. The blend is insensitive
+// to its exact value because an expert fetch (hundreds of microseconds to
+// milliseconds) dwarfs a hop (microseconds) — the constant only keeps the
+// two objective terms in one unit.
+const DefaultHopSeconds = 4e-6
+
+// MemoryObjective prices the expected expert-stall cost of a placement under
+// tiered expert-weight memory (internal/expertmem). The crossing objective
+// (Formula 8) treats expert weights as free; under oversubscription each
+// GPU's HBM holds only Slots of its PerGPU assigned experts, and every
+// access to a non-resident expert stalls for its host-link (or NVMe) fetch.
+//
+// The residency model is the one the memory subsystem itself converges to
+// under a popularity-respecting policy: a GPU keeps the Slots highest
+// demand-mass experts assigned to it resident (exactly the set Warm preloads
+// and the pin/affinity policies retain), and every demanded access to the
+// rest pays the full fetch. The expected stall of a placement is then
+//
+//	stall(P) = sum over GPUs g of
+//	           sum over (l, e) assigned to g outside g's top-Slots by mass of
+//	           mass[l][e] * fetch[l][e]
+//
+// with mass and fetch taken from the same affinity-derived oracles the
+// runtime Manager uses (expertmem popularity and the DRAM/NVMe master-copy
+// split), so the solver and the memory subsystem agree on what "hot" means.
+// The model is what makes hot-set concentration visible to the solver:
+// co-locating an affinity chain piles its demand mass onto one GPU, pushes
+// mass past that GPU's slot coverage, and shows up as stall — even when the
+// chain wins on crossings.
+//
+// Stall seconds convert into crossing units through HopSeconds (seconds one
+// crossing costs), so the blended objective Crossings + stall/HopSeconds
+// stays in Formula 8's units and degenerates to it exactly when the budget
+// is not binding.
+type MemoryObjective struct {
+	// Slots is the per-GPU HBM expert-slot budget.
+	Slots int
+	// PerGPU is the balanced assigned-expert count per GPU
+	// (Layers*Experts/GPUs); the objective is inactive unless Slots < PerGPU.
+	PerGPU int
+	// HopSeconds converts stall seconds into crossing units.
+	HopSeconds float64
+
+	layers, experts int
+	mass            []float64 // [l*experts+e] affinity demand mass
+	fetch           []float64 // [l*experts+e] fetch seconds from the master tier
+	tokens          float64   // layer-0 demand mass (= profiled token count)
+}
+
+// NewMemoryObjective derives the residency model from a tiered-memory
+// deployment config (typically expertmem.ConfigFor with the profiling
+// transition counts as the affinity tensor). hopSeconds is the per-crossing
+// service cost used to blend stall into the crossing objective — pass the
+// fitted cost model's per-cross-hop coefficient, or zero for
+// DefaultHopSeconds.
+func NewMemoryObjective(cfg expertmem.Config, hopSeconds float64) *MemoryObjective {
+	if hopSeconds <= 0 {
+		hopSeconds = DefaultHopSeconds
+	}
+	m := expertmem.New(cfg)
+	mo := &MemoryObjective{
+		Slots:      cfg.SlotsPerGPU,
+		PerGPU:     cfg.Layers * cfg.Experts / cfg.GPUs,
+		HopSeconds: hopSeconds,
+		layers:     cfg.Layers,
+		experts:    cfg.Experts,
+		mass:       make([]float64, cfg.Layers*cfg.Experts),
+		fetch:      make([]float64, cfg.Layers*cfg.Experts),
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		for e := 0; e < cfg.Experts; e++ {
+			i := l*cfg.Experts + e
+			mo.mass[i] = m.Popularity(l, e)
+			mo.fetch[i] = m.FetchSeconds(l, e)
+			if l == 0 {
+				mo.tokens += mo.mass[i]
+			}
+		}
+	}
+	return mo
+}
+
+// Active reports whether the HBM budget is binding: when every assigned
+// expert fits (or the objective is nil), the memory term is exactly zero and
+// callers must take the crossing-only path so results stay bit-identical.
+func (mo *MemoryObjective) Active() bool {
+	return mo != nil && mo.Slots < mo.PerGPU
+}
+
+// StallSeconds evaluates the expected expert-stall of a placement over the
+// profiled demand window: for each GPU, every assigned expert outside the
+// GPU's top-Slots by demand mass pays its full fetch per unit of demand.
+// Zero when the budget is not binding.
+func (mo *MemoryObjective) StallSeconds(p *Placement) float64 {
+	if !mo.Active() {
+		return 0
+	}
+	items := make([][]int32, p.GPUs)
+	for g := range items {
+		items[g] = make([]int32, 0, mo.PerGPU)
+	}
+	for l := 0; l < p.Layers && l < mo.layers; l++ {
+		for e := 0; e < p.Experts; e++ {
+			g := p.Assign[l][e]
+			items[g] = append(items[g], int32(l*mo.experts+e))
+		}
+	}
+	total := 0.0
+	for g := range items {
+		total += mo.gpuStall(items[g])
+	}
+	return total
+}
+
+// StallPerToken is StallSeconds normalized by the profiled token count — the
+// model's predicted expert-stall seconds added to one token's decode.
+func (mo *MemoryObjective) StallPerToken(p *Placement) float64 {
+	if mo == nil || mo.tokens == 0 {
+		return 0
+	}
+	return mo.StallSeconds(p) / mo.tokens
+}
+
+// Cost is the stall term in crossing units.
+func (mo *MemoryObjective) Cost(p *Placement) float64 {
+	if !mo.Active() {
+		return 0
+	}
+	return mo.StallSeconds(p) / mo.HopSeconds
+}
+
+// Objective is the full memory-aware objective: crossings plus the stall
+// term in crossing units. With an inactive (or nil) MemoryObjective it is
+// exactly Crossings.
+func (mo *MemoryObjective) Objective(p *Placement, counts [][][]float64) float64 {
+	if !mo.Active() {
+		return p.Crossings(counts)
+	}
+	return p.Crossings(counts) + mo.Cost(p)
+}
+
+// gpuStall prices one GPU's assigned set: the items are sorted by demand
+// mass (descending, index ascending on ties — deterministic regardless of
+// input order), the top Slots are resident for free, and the rest pay
+// mass*fetch. The slice is reordered in place.
+func (mo *MemoryObjective) gpuStall(items []int32) float64 {
+	if len(items) <= mo.Slots {
+		return 0
+	}
+	sort.Slice(items, func(a, b int) bool {
+		ma, mb := mo.mass[items[a]], mo.mass[items[b]]
+		if ma != mb {
+			return ma > mb
+		}
+		return items[a] < items[b]
+	})
+	stall := 0.0
+	for _, it := range items[mo.Slots:] {
+		stall += mo.mass[it] * mo.fetch[it]
+	}
+	return stall
+}
+
+// group returns the objective lifted to groups of size gpusPerGroup — used
+// by the staged solver's node stage, where one "GPU" stands for a node
+// pooling its members' HBM budgets.
+func (mo *MemoryObjective) group(gpusPerGroup int) *MemoryObjective {
+	if mo == nil {
+		return nil
+	}
+	g := *mo
+	g.Slots = mo.Slots * gpusPerGroup
+	g.PerGPU = mo.PerGPU * gpusPerGroup
+	return &g
+}
+
+// restrict projects the objective onto a node-local subproblem: layer j's
+// local expert slot s stands for global expert residents[j][s]. Slot budget
+// and per-GPU capacity are unchanged (each node GPU still holds PerGPU
+// experts under Slots slots).
+func (mo *MemoryObjective) restrict(residents [][]int) *MemoryObjective {
+	if mo == nil {
+		return nil
+	}
+	perNode := len(residents[0])
+	sub := &MemoryObjective{
+		Slots:      mo.Slots,
+		PerGPU:     mo.PerGPU,
+		HopSeconds: mo.HopSeconds,
+		layers:     len(residents),
+		experts:    perNode,
+		mass:       make([]float64, len(residents)*perNode),
+		fetch:      make([]float64, len(residents)*perNode),
+	}
+	for l, res := range residents {
+		for s, e := range res {
+			src := l*mo.experts + e
+			sub.mass[l*perNode+s] = mo.mass[src]
+			sub.fetch[l*perNode+s] = mo.fetch[src]
+			if l == 0 {
+				sub.tokens += mo.mass[src]
+			}
+		}
+	}
+	return sub
+}
+
+// memState is the annealer's incremental view of the memory term: per-GPU
+// assigned-item lists and their cached stall costs, so pricing an intra-layer
+// swap touches only the two affected GPUs (O(PerGPU log PerGPU)) instead of
+// re-scanning the whole placement.
+type memState struct {
+	mo      *MemoryObjective
+	items   [][]int32 // per GPU: packed (l*experts+e) ids, unordered
+	pos     []int32   // item id -> index within its GPU's list
+	cost    []float64 // per GPU cached stall seconds
+	total   float64
+	scratch []int32
+}
+
+func newMemState(mo *MemoryObjective, p *Placement) *memState {
+	ms := &memState{
+		mo:      mo,
+		items:   make([][]int32, p.GPUs),
+		pos:     make([]int32, mo.layers*mo.experts),
+		cost:    make([]float64, p.GPUs),
+		scratch: make([]int32, 0, mo.PerGPU),
+	}
+	for g := range ms.items {
+		ms.items[g] = make([]int32, 0, mo.PerGPU)
+	}
+	for l := 0; l < p.Layers; l++ {
+		for e := 0; e < p.Experts; e++ {
+			g := p.Assign[l][e]
+			id := int32(l*mo.experts + e)
+			ms.pos[id] = int32(len(ms.items[g]))
+			ms.items[g] = append(ms.items[g], id)
+		}
+	}
+	for g := range ms.items {
+		// gpuStall reorders; restore the position index afterwards.
+		ms.cost[g] = mo.gpuStall(ms.items[g])
+		for i, id := range ms.items[g] {
+			ms.pos[id] = int32(i)
+		}
+		ms.total += ms.cost[g]
+	}
+	return ms
+}
+
+// swapCost prices the hypothetical swap of experts a and b at layer j
+// between GPUs ga and gb, returning the two GPUs' new stall costs without
+// mutating the state.
+func (ms *memState) swapCost(j, a, b, ga, gb int) (newGa, newGb float64) {
+	idA := int32(j*ms.mo.experts + a)
+	idB := int32(j*ms.mo.experts + b)
+	newGa = ms.replacedStall(ga, idA, idB)
+	newGb = ms.replacedStall(gb, idB, idA)
+	return newGa, newGb
+}
+
+// replacedStall prices GPU g's set with item out replaced by item in.
+func (ms *memState) replacedStall(g int, out, in int32) float64 {
+	ms.scratch = ms.scratch[:0]
+	for _, id := range ms.items[g] {
+		if id == out {
+			id = in
+		}
+		ms.scratch = append(ms.scratch, id)
+	}
+	return ms.mo.gpuStall(ms.scratch)
+}
+
+// apply commits a swap previously priced by swapCost.
+func (ms *memState) apply(j, a, b, ga, gb int, newGa, newGb float64) {
+	idA := int32(j*ms.mo.experts + a)
+	idB := int32(j*ms.mo.experts + b)
+	ms.items[ga][ms.pos[idA]] = idB
+	ms.items[gb][ms.pos[idB]] = idA
+	ms.pos[idA], ms.pos[idB] = ms.pos[idB], ms.pos[idA]
+	ms.total += newGa + newGb - ms.cost[ga] - ms.cost[gb]
+	ms.cost[ga] = newGa
+	ms.cost[gb] = newGb
+}

@@ -57,6 +57,22 @@ func (p *Placement) Clone() *Placement {
 	return c
 }
 
+// Equal reports whether two placements have the same shape and agree on
+// every (layer, expert) assignment.
+func (p *Placement) Equal(o *Placement) bool {
+	if p.Layers != o.Layers || p.Experts != o.Experts || p.GPUs != o.GPUs {
+		return false
+	}
+	for j := range p.Assign {
+		for e, g := range p.Assign[j] {
+			if o.Assign[j][e] != g {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Validate checks the paper's Formulas 9 and 10: every expert on exactly one
 // GPU (structurally true here) and every GPU holding exactly E/P experts at
 // every layer.

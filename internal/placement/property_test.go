@@ -1,9 +1,11 @@
 package placement
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/expertmem"
 	"repro/internal/rng"
 	"repro/internal/synth"
 	"repro/internal/topo"
@@ -87,6 +89,83 @@ func TestPropertyCrossingsBounds(t *testing.T) {
 		total := float64(tr.Tokens() * (layers - 1))
 		return c >= 0 && c <= total+1e-9
 	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// memObjectiveFor builds a memory objective for a random instance at the
+// given oversubscription ratio.
+func memObjectiveFor(counts [][][]float64, layers, experts, gpus int, oversub float64) *MemoryObjective {
+	cfg := expertmem.ConfigFor(topo.ForGPUs(gpus), layers, experts, 16<<20, oversub,
+		expertmem.AffinityPrefetch(), 4, 0, counts)
+	return NewMemoryObjective(cfg, 0)
+}
+
+func TestPropertyAnnealBitIdenticalWhenMemoryInactive(t *testing.T) {
+	// At oversubscription 0 (nil objective) and 1 (inactive objective) the
+	// memory term is exactly zero and Anneal must walk the identical
+	// trajectory: same RNG draws, same accepts, bit-identical output.
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		init := Contiguous(layers, experts, gpus)
+		plain := Anneal(counts, init, AnnealOptions{Iterations: 1500, Seed: seed})
+		at1x := memObjectiveFor(counts, layers, experts, gpus, 1)
+		if at1x.Active() || at1x.StallSeconds(plain) != 0 {
+			return false
+		}
+		for _, mem := range []*MemoryObjective{nil, at1x} {
+			out := Anneal(counts, init, AnnealOptions{Iterations: 1500, Seed: seed, Memory: mem})
+			for j := range plain.Assign {
+				for e := range plain.Assign[j] {
+					if out.Assign[j][e] != plain.Assign[j][e] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMemoryObjectiveRelabelInvariant(t *testing.T) {
+	// The stall term is a sum of per-GPU functions of the assigned sets, so
+	// permuting GPU labels must not change it (up to summation order).
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		mo := memObjectiveFor(counts, layers, experts, gpus, 2)
+		pl := Random(layers, experts, gpus, seed^0x77)
+		perm := rng.New(seed ^ 0x1CE).Perm(gpus)
+		relabeled := pl.Clone()
+		for j := range relabeled.Assign {
+			for e := range relabeled.Assign[j] {
+				relabeled.Assign[j][e] = perm[pl.Assign[j][e]]
+			}
+		}
+		a, b := mo.StallSeconds(pl), mo.StallSeconds(relabeled)
+		return math.Abs(a-b) <= 1e-9*(1+math.Abs(a))
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMemoryAwareAnnealValidAndNonWorsening(t *testing.T) {
+	// Under an active memory term the annealer must stay feasible and never
+	// worsen its blended objective relative to the start.
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		mo := memObjectiveFor(counts, layers, experts, gpus, 2)
+		init := Contiguous(layers, experts, gpus)
+		out := Anneal(counts, init, AnnealOptions{Iterations: 2000, Seed: seed, Memory: mo})
+		if out.Validate() != nil {
+			return false
+		}
+		return mo.Objective(out, counts) <= mo.Objective(init, counts)+1e-9
+	}, &quick.Config{MaxCount: 15}); err != nil {
 		t.Fatal(err)
 	}
 }

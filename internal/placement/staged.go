@@ -9,8 +9,25 @@ import (
 // Solve runs the production single-level pipeline: LayerSweep coordinate
 // descent refined by simulated annealing. seed feeds the annealer.
 func Solve(counts [][][]float64, layers, experts, gpus int, seed uint64) *Placement {
+	return SolveMem(counts, layers, experts, gpus, seed, nil)
+}
+
+// SolveMem is Solve with an optional memory-aware objective: the sweep
+// stays crossing-only (its transportation subproblem has no residency
+// notion), and the annealing polish prices crossings plus expected
+// expert-stall. A nil or inactive objective reproduces Solve bit-identically.
+func SolveMem(counts [][][]float64, layers, experts, gpus int, seed uint64, mem *MemoryObjective) *Placement {
 	p := LayerSweep(counts, layers, experts, gpus, LayerSweepOptions{})
-	return Anneal(counts, p, AnnealOptions{Seed: seed})
+	return Anneal(counts, p, AnnealOptions{Seed: seed, Memory: mem})
+}
+
+// StagedOptions tunes the two-stage hierarchical solve.
+type StagedOptions struct {
+	// Memory, when active, folds expected expert-stall cost into both
+	// stages' annealing objective: the node stage sees each node as one
+	// pooled HBM budget (GPUsPerNode * Slots), and each node's GPU stage
+	// prices the real per-GPU budget over the node's residents.
+	Memory *MemoryObjective
 }
 
 // Staged implements the paper's two-stage hierarchical optimization
@@ -23,17 +40,23 @@ func Solve(counts [][][]float64, layers, experts, gpus int, seed uint64) *Placem
 // stages — only what counts as a "crossing" changes — exactly as the paper
 // applies Formula 8 top-down.
 func Staged(counts [][][]float64, layers, experts int, tp *topo.Topology, seed uint64) *Placement {
+	return StagedOpt(counts, layers, experts, tp, seed, StagedOptions{})
+}
+
+// StagedOpt is Staged with options (see StagedOptions). Zero options
+// reproduce Staged bit-identically.
+func StagedOpt(counts [][][]float64, layers, experts int, tp *topo.Topology, seed uint64, opts StagedOptions) *Placement {
 	gpus := tp.TotalGPUs()
 	checkShape(experts, gpus)
 	if tp.Nodes == 1 {
-		return Solve(counts, layers, experts, gpus, seed)
+		return SolveMem(counts, layers, experts, gpus, seed, opts.Memory)
 	}
 	if experts%tp.Nodes != 0 {
 		panic(fmt.Sprintf("placement: experts %d not divisible by nodes %d", experts, tp.Nodes))
 	}
 
-	// Stage 1: place experts onto nodes.
-	nodePl := Solve(counts, layers, experts, tp.Nodes, seed)
+	// Stage 1: place experts onto nodes, each node pooling its GPUs' HBM.
+	nodePl := SolveMem(counts, layers, experts, tp.Nodes, seed, opts.Memory.group(tp.GPUsPerNode))
 
 	// Stage 2: within each node, place its residents onto the node's GPUs.
 	// Each node's subproblem only sees transition weight between experts
@@ -73,7 +96,11 @@ func Staged(counts [][][]float64, layers, experts int, tp *topo.Topology, seed u
 				}
 			}
 		}
-		subPl := Solve(sub, layers, perNode, tp.GPUsPerNode, seed+uint64(node)+1)
+		var subMem *MemoryObjective
+		if opts.Memory.Active() {
+			subMem = opts.Memory.restrict(residents)
+		}
+		subPl := SolveMem(sub, layers, perNode, tp.GPUsPerNode, seed+uint64(node)+1, subMem)
 		for j := 0; j < layers; j++ {
 			for slot, e := range residents[j] {
 				final.Assign[j][e] = tp.Rank(node, subPl.Assign[j][slot])

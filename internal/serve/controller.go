@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"repro/internal/expertmem"
 	"repro/internal/placement"
 	"repro/internal/topo"
 )
@@ -23,6 +24,15 @@ type MigrationEvent struct {
 	// PredictedGain is the fractional reduction in live-window crossings the
 	// re-solved placement promises (1 - fresh/stale).
 	PredictedGain float64
+	// PredictedStallDelta is the memory-aware objective's predicted
+	// reduction in expert-stall seconds per token (stale minus fresh
+	// placement, positive = improvement); zero unless Options.MemoryAware
+	// priced the re-solve. RealizedStallDelta is the measured counterpart —
+	// charged stall per token before the migration began minus after it
+	// completed — filled into the report once post-migration traffic has
+	// been observed.
+	PredictedStallDelta float64
+	RealizedStallDelta  float64
 	// ResidencyChurn counts HBM-resident expert copies the migration
 	// invalidates under tiered expert memory; ChurnSeconds is the host-link
 	// refetch cost of restoring them, priced into Seconds. Both zero when
@@ -81,14 +91,22 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 	}
 	counts := c.window.Snapshot()
 	c.solves++
-	fresh := placement.Staged(counts, cur.Layers, cur.Experts, c.opts.Topo, c.opts.Seed+uint64(c.solves)*0x51ED)
+	// Under memory-aware re-placement the solver prices expected expert
+	// stall alongside crossings, with the live window as the demand oracle —
+	// the once-optimal hot-set split decays with routing drift exactly like
+	// the crossing structure does.
+	mo := c.memObjective(cur, counts)
+	fresh := placement.StagedOpt(counts, cur.Layers, cur.Experts, c.opts.Topo,
+		c.opts.Seed+uint64(c.solves)*0x51ED, placement.StagedOptions{Memory: mo})
 	canon := placement.CanonicalizeTopo(cur, fresh, c.opts.Topo.GPUsPerNode)
 	// Gain is measured in modeled per-token service time, the quantity the
 	// queue actually feels — not raw crossings, which weight an NVLink hop
-	// the same as an IB hop.
+	// the same as an IB hop. The memory-aware term adds each placement's
+	// predicted stall per token on top of the hop cost.
 	gain := 0.0
-	if stale := c.perTokenCost(counts, cur); stale > 0 {
-		gain = 1 - c.perTokenCost(counts, canon)/stale
+	staleStall, freshStall := mo.StallPerToken(cur), mo.StallPerToken(canon)
+	if stale := c.perTokenCost(counts, cur) + staleStall; stale > 0 {
+		gain = 1 - (c.perTokenCost(counts, canon)+freshStall)/stale
 	}
 	if gain < c.opts.MinGain {
 		// Not worth the parameter traffic; back off before re-solving again.
@@ -100,12 +118,13 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 	// re-canonicalize and could plan for a different relabeling).
 	plan := placement.PriceMoves(placement.Diff(cur, canon), c.opts.Topo, c.opts.ExpertBytes)
 	ev := &MigrationEvent{
-		Time:           now,
-		Score:          score,
-		Moves:          len(plan.Moves),
-		CrossNodeMoves: plan.CrossNodeMoves,
-		Seconds:        plan.Seconds,
-		PredictedGain:  gain,
+		Time:                now,
+		Score:               score,
+		Moves:               len(plan.Moves),
+		CrossNodeMoves:      plan.CrossNodeMoves,
+		Seconds:             plan.Seconds,
+		PredictedGain:       gain,
+		PredictedStallDelta: staleStall - freshStall,
 	}
 	if c.churn != nil {
 		// Under oversubscription the migration does not just copy
@@ -117,6 +136,23 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 		ev.Seconds += ev.ChurnSeconds
 	}
 	return score, &pendingMigration{newPl: canon, event: ev}
+}
+
+// memObjective builds the memory-aware placement objective over the live
+// window counts, or nil when memory-aware re-placement is off. At
+// oversubscription 1 the objective is built but inactive, keeping the
+// re-solve bit-identical to the crossing-only path.
+func (c *controller) memObjective(cur *placement.Placement, counts [][][]float64) *placement.MemoryObjective {
+	if !c.opts.MemoryAware || c.opts.Oversubscription == 0 {
+		return nil
+	}
+	pol, err := expertmem.ParsePolicy(c.opts.CachePolicy)
+	if err != nil {
+		return nil // Validate already rejected this; belt and braces
+	}
+	cfg := expertmem.ConfigFor(c.opts.Topo, cur.Layers, cur.Experts, c.opts.ExpertBytes,
+		c.opts.Oversubscription, pol, c.opts.PrefetchK, c.opts.HostSlots, counts)
+	return placement.NewMemoryObjective(cfg, c.opts.Cost.PerCrossHop)
 }
 
 // perTokenCost evaluates the cost model's per-token service time for a

@@ -152,4 +152,72 @@ func TestServeValidatesMemoryOptions(t *testing.T) {
 	if _, err := Run(opts); err == nil {
 		t.Fatal("unknown cache policy accepted")
 	}
+	opts.Oversubscription = 0
+	opts.CachePolicy = "affinity"
+	if _, err := Run(opts); err == nil {
+		t.Fatal("cache policy without the memory layer accepted")
+	}
+	opts.CachePolicy = ""
+	opts.MemoryAware = true
+	if _, err := Run(opts); err == nil {
+		t.Fatal("memory-aware re-placement without the memory layer accepted")
+	}
+}
+
+func TestServeMemoryAwareMigrationReportsStallDeltas(t *testing.T) {
+	opts, drifted := testSystem(t)
+	opts.Adaptive = true
+	opts.Oversubscription = 2
+	opts.CachePolicy = "affinity"
+	opts.MemoryAware = true
+	rate := nearKneeRate(opts, 0.5, 0.2, 0.5)
+	opts.Phases = []Phase{
+		{Name: "warm", Duration: 3, Rate: rate, Dataset: synth.Pile()},
+		{Name: "drift", Duration: 6, Rate: rate, Dataset: drifted},
+	}
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Migrations) == 0 {
+		t.Fatal("memory-aware adaptive fleet never migrated under drift")
+	}
+	m := rep.Migrations[0]
+	if m.PredictedStallDelta == 0 {
+		t.Fatalf("memory-aware migration predicted no stall change: %+v", m)
+	}
+	if m.RealizedStallDelta == 0 {
+		t.Fatalf("realized stall delta not filled: %+v", m)
+	}
+}
+
+func TestServeMemoryAwareAt1xMatchesCrossingOnly(t *testing.T) {
+	// At 1x the memory objective is inactive by construction, so the
+	// memory-aware controller must reproduce the crossing-only run exactly.
+	opts, drifted := testSystem(t)
+	opts.Adaptive = true
+	opts.Oversubscription = 1
+	opts.CachePolicy = "affinity"
+	opts.Phases = driftProgram(opts, drifted)
+	plain, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.MemoryAware = true
+	aware, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan != aware.Makespan || plain.Overall.P95 != aware.Overall.P95 {
+		t.Fatalf("memory-aware at 1x diverged: makespan %v vs %v, P95 %v vs %v",
+			aware.Makespan, plain.Makespan, aware.Overall.P95, plain.Overall.P95)
+	}
+	if len(plain.Migrations) != len(aware.Migrations) {
+		t.Fatalf("migration count diverged: %d vs %d", len(aware.Migrations), len(plain.Migrations))
+	}
+	for i := range aware.Migrations {
+		if aware.Migrations[i].PredictedStallDelta != 0 {
+			t.Fatalf("1x migration predicted a stall change: %+v", aware.Migrations[i])
+		}
+	}
 }

@@ -107,6 +107,10 @@ func (r *Report) String() string {
 		if m.ResidencyChurn > 0 {
 			fmt.Fprintf(&b, ", %d resident copies churned (%.1fms refetch)", m.ResidencyChurn, m.ChurnSeconds*1e3)
 		}
+		if m.PredictedStallDelta != 0 || m.RealizedStallDelta != 0 {
+			fmt.Fprintf(&b, ", stall/token predicted %+.3fms realized %+.3fms",
+				m.PredictedStallDelta*1e3, m.RealizedStallDelta*1e3)
+		}
 		b.WriteByte('\n')
 	}
 	if r.ExpertMem != nil {
@@ -142,6 +146,27 @@ func (s *server) buildReport() *Report {
 		rep.finishTimes = append(rep.finishTimes, rq.finish)
 		if rq.finish > rep.Makespan {
 			rep.Makespan = rq.finish
+		}
+	}
+
+	// Realize each migration's stall delta: charged stall per token over the
+	// traffic between the previous migration (or start) and the decision,
+	// minus the same over the traffic between completion and the next
+	// migration (or end). Left at zero when either window saw no tokens.
+	for i := range rep.Migrations {
+		m := &rep.Migrations[i]
+		t0 := 0.0
+		if i > 0 {
+			t0 = rep.Migrations[i-1].Completed
+		}
+		t1 := rep.Makespan + 1
+		if i+1 < len(rep.Migrations) {
+			t1 = rep.Migrations[i+1].Time
+		}
+		before, okB := s.stallPerToken(t0, m.Time)
+		after, okA := s.stallPerToken(m.Completed, t1)
+		if okB && okA {
+			m.RealizedStallDelta = before - after
 		}
 	}
 
@@ -183,6 +208,22 @@ func (s *server) buildReport() *Report {
 		rep.Saturated = late > 4*early+8
 	}
 	return rep
+}
+
+// stallPerToken is the charged expert-stall per decoded token over the
+// iterations starting in [t0, t1); ok is false when no tokens were decoded.
+func (s *server) stallPerToken(t0, t1 float64) (float64, bool) {
+	stall, tokens := 0.0, 0
+	for _, ms := range s.memSamples {
+		if ms.t >= t0 && ms.t < t1 {
+			stall += ms.stall
+			tokens += ms.tokens
+		}
+	}
+	if tokens == 0 {
+		return 0, false
+	}
+	return stall / float64(tokens), true
 }
 
 // tokensIn sums decoded tokens inside a time span.

@@ -96,6 +96,14 @@ type Options struct {
 	// HostSlots bounds the host-DRAM master-copy working set; the coldest
 	// experts fall through to NVMe (0 = everything fits in DRAM).
 	HostSlots int
+	// MemoryAware folds the expected expert-stall cost into the background
+	// re-placement objective (placement.MemoryObjective over the live
+	// window counts): re-solves then price hot-set concentration alongside
+	// crossings, and MigrationEvent reports predicted vs realized stall
+	// deltas. Requires Oversubscription > 0; at exactly 1 the term is
+	// inactive by construction and re-solves stay bit-identical to the
+	// crossing-only path.
+	MemoryAware bool
 	// LatencyBucket is the report's time-bucket width in seconds for the
 	// P95/throughput series (0 = makespan/80).
 	LatencyBucket float64
@@ -175,6 +183,12 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("serve: Oversubscription must be 0 (off) or >= 1, got %v", o.Oversubscription)
 	case o.HostSlots < 0:
 		return fmt.Errorf("serve: HostSlots must be non-negative")
+	case o.Oversubscription == 0 && o.CachePolicy != "":
+		// A policy without the memory layer would silently do nothing; that
+		// almost always means the caller forgot Oversubscription.
+		return fmt.Errorf("serve: CachePolicy %q set but Oversubscription is 0 (memory layer disabled); set Oversubscription >= 1 or drop the policy", o.CachePolicy)
+	case o.Oversubscription == 0 && o.MemoryAware:
+		return fmt.Errorf("serve: MemoryAware requires the tiered memory layer; set Oversubscription >= 1")
 	}
 	if o.Oversubscription > 0 {
 		if _, err := expertmem.ParsePolicy(o.CachePolicy); err != nil {
@@ -274,8 +288,9 @@ type server struct {
 
 	iterations int
 	batchTotal int
-	memStall   float64 // expert-miss stall actually charged to iteration clocks
-	decoded    []tick  // (time, tokens decoded) per iteration
+	memStall   float64     // expert-miss stall actually charged to iteration clocks
+	memSamples []memSample // per-iteration stall samples (realized-delta accounting)
+	decoded    []tick      // (time, tokens decoded) per iteration
 	fracT      []float64
 	fracY      []float64 // per-iteration cross-node dispatch fraction
 	driftT     []float64
@@ -289,6 +304,14 @@ type server struct {
 type tick struct {
 	t float64
 	n int
+}
+
+// memSample records one iteration's charged expert-stall and decode size,
+// backing the migrations' realized stall-per-token deltas.
+type memSample struct {
+	t      float64
+	stall  float64
+	tokens int
 }
 
 // Run executes the serving simulation and returns its report.
@@ -536,6 +559,7 @@ func (s *server) start(now float64, r *replica) {
 		st := s.memoryStalls(r, len(r.active), now, dt)
 		dt += st
 		s.memStall += st
+		s.memSamples = append(s.memSamples, memSample{t: now, stall: st, tokens: len(r.active)})
 	}
 	s.fracT = append(s.fracT, now)
 	s.fracY = append(s.fracY, float64(cross)/total)
@@ -547,48 +571,8 @@ func (s *server) start(now float64, r *replica) {
 }
 
 // memoryStalls walks one iteration's per-layer timeline through the
-// replica's tiered expert-weight memory and returns the total stall added
-// to the iteration. The iteration is bulk-synchronous per layer, so a
-// layer's stall is the slowest access in it; affinity prefetches for layer
-// j+1 are issued as soon as layer j's routing is known, overlapping the
-// remaining layer-j compute (plus any stall it suffers).
+// replica's tiered expert-weight memory (see LayerStallTimeline) and
+// returns the total stall added to the iteration.
 func (s *server) memoryStalls(r *replica, batch int, now, computeDur float64) float64 {
-	mem := s.mems[r.id]
-	if !mem.Oversubscribed() {
-		return 0
-	}
-	layers := s.opts.Kernel.Layers
-	perLayer := computeDur / float64(layers)
-	prefetch := mem.Prefetching()
-	t := now
-	total := 0.0
-	seen := make(map[[2]int]bool, batch)
-	for j := 0; j < layers; j++ {
-		clear(seen)
-		stall := 0.0
-		// Demand accesses first: same-instant speculation must never delay
-		// them (Prefetch only uses idle link bandwidth anyway).
-		for i := 0; i < batch; i++ {
-			e := s.paths[i][j]
-			gpu := r.pl.GPUOf(j, e)
-			k := [2]int{gpu, e}
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
-			if st := mem.Access(gpu, j, e, t); st > stall {
-				stall = st
-			}
-		}
-		if prefetch && j+1 < layers {
-			for i := 0; i < batch; i++ {
-				for _, sc := range mem.Successors(j, s.paths[i][j]) {
-					mem.Prefetch(r.pl.GPUOf(j+1, sc), j+1, sc, t)
-				}
-			}
-		}
-		total += stall
-		t += perLayer + stall
-	}
-	return total
+	return LayerStallTimeline(s.mems[r.id], r.pl, s.paths, batch, now, computeDur)
 }

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"repro/internal/expertmem"
+	"repro/internal/placement"
+)
+
+// LayerStallTimeline is the serve layer's per-layer expert-stall
+// approximation: it walks one bulk-synchronous decode iteration through a
+// tiered expert-weight memory and returns the stall added to the iteration
+// clock. paths[i][j] is token i's routed expert at layer j (only the first
+// batch rows are read); computeDur is the iteration's memory-free duration,
+// spread uniformly across layers — the overlap budget prefetches hide
+// behind.
+//
+// Per layer, every distinct (owner GPU, expert) pair among the batch is
+// demanded once and the layer stalls for the slowest access (the iteration
+// is bulk-synchronous); then — under a prefetching policy — each routed
+// expert's affinity successors are hinted to their layer-(j+1) owners, so
+// their transfers overlap the remaining layer-j compute exactly as the
+// engine overlaps them across its hint Alltoall. A hint lands on its owner
+// GPU at that GPU's *own* post-stall instant (t plus the GPU's own demand
+// stall this layer, not the fleet-wide maximum): in the engine each rank
+// processes received hints right after its own demand fetches complete, so
+// an unstalled owner starts speculating while the slowest rank is still
+// fetching. Issuing at the shared layer start would drop hints against the
+// owner's in-flight demand transfer (speculation never queues); issuing at
+// the fleet-wide post-stall point would rob unstalled owners of overlap.
+// Both mistimings were caught — as systematic hit-rate undershoot — when
+// this model was first validated against engine runs by the conformance
+// suite.
+//
+// The engine charges the same misses per rank on per-rank clocks instead;
+// the two models are held to agree by the cross-layer stall-model
+// conformance suite (TestStallModelConformance in the root package), which
+// replays identical routing through both.
+func LayerStallTimeline(mem *expertmem.Manager, pl *placement.Placement, paths [][]int, batch int, now, computeDur float64) float64 {
+	if !mem.Oversubscribed() {
+		return 0
+	}
+	layers := pl.Layers
+	perLayer := computeDur / float64(layers)
+	prefetch := mem.Prefetching()
+	t := now
+	total := 0.0
+	seen := make(map[[2]int]bool, batch)
+	gpuStall := make([]float64, pl.GPUs)
+	for j := 0; j < layers; j++ {
+		clear(seen)
+		for g := range gpuStall {
+			gpuStall[g] = 0
+		}
+		stall := 0.0
+		// Demand accesses first: same-instant speculation must never delay
+		// them (Prefetch only uses idle link bandwidth anyway). A GPU's
+		// accesses serialize on its host link and its clock advances
+		// through each stall — exactly how the engine charges a rank — so
+		// each access is issued at the GPU's accumulated post-stall time
+		// and the GPU's total stall is its demand-completion offset.
+		for i := 0; i < batch; i++ {
+			e := paths[i][j]
+			gpu := pl.GPUOf(j, e)
+			k := [2]int{gpu, e}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			gpuStall[gpu] += mem.Access(gpu, j, e, t+gpuStall[gpu])
+			if gpuStall[gpu] > stall {
+				stall = gpuStall[gpu]
+			}
+		}
+		if prefetch && j+1 < layers {
+			for i := 0; i < batch; i++ {
+				for _, sc := range mem.Successors(j, paths[i][j]) {
+					owner := pl.GPUOf(j+1, sc)
+					mem.Prefetch(owner, j+1, sc, t+gpuStall[owner])
+				}
+			}
+		}
+		total += stall
+		t += perLayer + stall
+	}
+	return total
+}

@@ -82,6 +82,15 @@ type ServeOptions struct {
 	// replica; the coldest experts by affinity popularity fall through to
 	// NVMe and pay both hops on a fetch. 0 means everything fits in DRAM.
 	HostSlots int
+	// MemoryAware folds the expected expert-stall cost into the adaptive
+	// controller's re-placement objective (see
+	// System.SolvePlacementMemoryAware for the initial-placement
+	// counterpart): live re-solves then price hot-set concentration
+	// alongside crossings, and each MigrationEvent reports its predicted vs
+	// realized stall-per-token delta. Requires Oversubscription >= 1; at
+	// exactly 1 the term is inactive and re-solves stay bit-identical to
+	// the crossing-only path.
+	MemoryAware bool
 	// LatencyBucket is the report time-bucket width in seconds (0 = auto).
 	LatencyBucket float64
 	// Calibration, when set, reuses offline artifacts from a previous
@@ -120,6 +129,13 @@ func (o ServeOptions) Validate() error {
 		return fmt.Errorf("exflow: Oversubscription must be 0 (off) or >= 1, got %v", o.Oversubscription)
 	case o.HostSlots < 0:
 		return fmt.Errorf("exflow: HostSlots must be non-negative, got %d", o.HostSlots)
+	case o.Oversubscription == 0 && o.CachePolicy != "":
+		// Rejected rather than silently ignored: a policy without the memory
+		// layer does nothing, which almost always means the caller meant to
+		// set Oversubscription too.
+		return fmt.Errorf("exflow: CachePolicy %q set but Oversubscription is 0 (memory layer disabled); set Oversubscription >= 1 or drop the policy", o.CachePolicy)
+	case o.Oversubscription == 0 && o.MemoryAware:
+		return fmt.Errorf("exflow: MemoryAware requires the tiered memory layer; set Oversubscription >= 1")
 	}
 	if o.Oversubscription > 0 {
 		if _, err := expertmem.ParsePolicy(o.CachePolicy); err != nil {
@@ -241,6 +257,7 @@ func Serve(sys *System, opts ServeOptions) (*ServeReport, *ServeMetrics, error) 
 		CachePolicy:      opts.CachePolicy,
 		PrefetchK:        opts.PrefetchK,
 		HostSlots:        opts.HostSlots,
+		MemoryAware:      opts.MemoryAware,
 		LatencyBucket:    opts.LatencyBucket,
 		Seed:             seed,
 	})

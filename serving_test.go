@@ -36,6 +36,11 @@ func TestServeOptionValidation(t *testing.T) {
 		{"negative oversub", ServeOptions{Oversubscription: -2}, "Oversubscription"},
 		{"negative host slots", ServeOptions{HostSlots: -1}, "HostSlots"},
 		{"bad cache policy", ServeOptions{Oversubscription: 2, CachePolicy: "lru2"}, "cache policy"},
+		// A cache policy (or memory-aware re-placement) without the memory
+		// layer is rejected, not silently ignored: the policy would be a
+		// no-op, which almost always means Oversubscription was forgotten.
+		{"policy without memory layer", ServeOptions{CachePolicy: "affinity"}, "Oversubscription"},
+		{"memory-aware without memory layer", ServeOptions{MemoryAware: true}, "Oversubscription"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
