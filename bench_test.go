@@ -10,7 +10,6 @@ import (
 	"testing"
 
 	"repro/internal/engine"
-	"repro/internal/expertmem"
 	"repro/internal/moe"
 	"repro/internal/placement"
 )
@@ -292,22 +291,13 @@ func BenchmarkOversubscribedIteration(b *testing.B) {
 }
 
 func BenchmarkMemoryAwareAnneal(b *testing.B) {
-	// The annealer with the expert-stall term active: every proposal prices
-	// both the crossing delta (O(E)) and the two affected GPUs' residency
-	// re-sort (O(PerGPU log PerGPU)) — the hot path of memory-aware solves.
-	cfg := moe.GPTM(32)
-	cfg.Layers = 16
-	sys := NewSystem(SystemOptions{Model: cfg, GPUs: 8, Seed: 1})
-	tr := sys.Profile(3000)
-	counts := tr.AllTransitionCounts()
-	pol, err := expertmem.ParsePolicy("affinity")
-	if err != nil {
-		b.Fatal(err)
-	}
-	mcfg := expertmem.ConfigFor(sys.Topo, cfg.Layers, cfg.Experts, int(cfg.ExpertParams())*2,
-		2, pol, 4, 0, counts)
-	mo := placement.NewMemoryObjective(mcfg, 0)
-	init := placement.Contiguous(cfg.Layers, cfg.Experts, 8)
+	// The annealer with the expert-stall term active — the hot path of
+	// memory-aware solves. Every proposal prices the crossing delta through
+	// the sparse TransIndex (O(degree)) and the two affected GPUs' residency
+	// change through the sorted residency lists (merge + tail sum, no sort).
+	// BenchmarkMemoryAwareAnnealDense (solverbench_test.go) is the dense
+	// reference this is measured against.
+	counts, mo, init, _ := solverBenchFixture(b)
 	b.ResetTimer()
 	var out *placement.Placement
 	for i := 0; i < b.N; i++ {

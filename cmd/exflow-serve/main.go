@@ -19,7 +19,10 @@
 // ratios 1x/1.5x/2x/4x for every cache policy (lru, lfu, pin, affinity;
 // 1x runs once since every expert is resident and the policy cannot act),
 // each ratio provisioned at 70% of its own probed capacity, plus a
-// memory-disabled baseline. The summary lands in BENCH_expertmem.json.
+// memory-disabled baseline. The sweep arms run concurrently (one goroutine
+// per arm, each with a deterministic per-ratio seed) and the results are
+// sorted before writing, so the JSON is byte-identical regardless of which
+// arm finishes first. The summary lands in BENCH_expertmem.json.
 package main
 
 import (
@@ -27,10 +30,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"sync"
 
 	"repro"
 	"repro/internal/expertmem"
 	"repro/internal/moe"
+	"repro/internal/placement"
+	"repro/internal/rng"
 	"repro/internal/stats"
 )
 
@@ -121,6 +128,8 @@ func main() {
 		tilt      = flag.Float64("tilt", 8, "domain specialization of the checkpoint (1 = paper-faithful mild tilt)")
 		strength  = flag.Float64("strength", 0.85, "synthetic affinity strength")
 		seed      = flag.Uint64("seed", 7, "deterministic seed")
+		workers   = flag.Int("solveworkers", 1, "placement-solver portfolio width (initial solve and live re-solves); deterministic for any fixed value, 1 = serial")
+		solveLat  = flag.Float64("solvelat", 0, "simulated latency of a background re-solve in seconds; the fleet keeps serving while it runs (overlap, not pause)")
 		jsonPath  = flag.String("json", "BENCH_serve.json", "machine-readable summary path ('-' to skip the file)")
 	)
 	flag.Parse()
@@ -135,7 +144,8 @@ func main() {
 		cfg.Layers = *layers
 	}
 	sys := exflow.NewSystem(exflow.SystemOptions{
-		Model: cfg, GPUs: *gpus, AffinityStrength: *strength, DomainTilt: *tilt, Seed: *seed,
+		Model: cfg, GPUs: *gpus, AffinityStrength: *strength, DomainTilt: *tilt,
+		SolveWorkers: *workers, Seed: *seed,
 	})
 	if *oversub {
 		// Two flags have oversub-specific defaults but honor explicit
@@ -156,7 +166,7 @@ func main() {
 		runOversubSweep(sys, cfg, oversubConfig{
 			gpus: *gpus, replicas: *replicas, decode: *decode, hostSlots: *hostSlots,
 			seed: *seed, dur: *warm + *duration, arrival: *arrival, provision: provision,
-			jsonPath: path, memaware: *memaware,
+			jsonPath: path, memaware: *memaware, solveWorkers: *workers, solveLat: *solveLat,
 		})
 		return
 	}
@@ -177,6 +187,8 @@ func main() {
 		DecodeTokens:  *decode,
 		LoadFrac:      *load,
 		Phases:        phases,
+		SolveSeconds:  *solveLat,
+		SolveWorkers:  *workers,
 		LatencyBucket: (*warm + *duration) / 80,
 	}
 	// Calibrate once (profiling + ~6 real engine runs) and share it across
@@ -348,11 +360,32 @@ type oversubConfig struct {
 	dur, provision                    float64
 	arrival, jsonPath                 string
 	memaware                          bool
+	solveWorkers                      int
+	solveLat                          float64
+}
+
+// sweepArm is one finished cell of the oversubscription sweep.
+type sweepArm struct {
+	ratioIdx  int // -1 for the memory-disabled baseline
+	ratio     float64
+	policy    string
+	placement string // "" or "memory-aware"
+	rate      float64
+	rep       *exflow.ServeReport
+	memPl     *placement.Placement // the memory-aware solve's placement (memaware arms)
 }
 
 // runOversubSweep serves steady traffic under tiered expert-weight memory
 // for every (cache policy, oversubscription ratio) cell plus a
-// memory-disabled baseline, and writes the machine-readable summary.
+// memory-disabled baseline, and writes the machine-readable summary. The
+// arms are independent simulations sharing only read-only state (system,
+// calibration), so they fan out across goroutines — one per ratio for the
+// capacity probe, then one per (policy, placement) cell — with a
+// deterministic per-ratio seed (the memory-disabled baseline shares the 1x
+// arm's seed so the bit-identity acceptance compares identical arrival
+// streams). Results are collected and sorted by (ratio, policy, placement)
+// before printing and writing, so the output is byte-identical no matter
+// which arm finishes first.
 func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 	gpus, replicas, decode, hostSlots := oc.gpus, oc.replicas, oc.decode, oc.hostSlots
 	seed, dur, jsonPath := oc.seed, oc.dur, oc.jsonPath
@@ -362,6 +395,8 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 		Replicas:      replicas,
 		DecodeTokens:  decode,
 		HostSlots:     hostSlots,
+		SolveSeconds:  oc.solveLat,
+		SolveWorkers:  oc.solveWorkers,
 		LatencyBucket: dur / 80,
 		Seed:          seed,
 	}
@@ -381,100 +416,181 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 		HBMPerGPUGB:     float64(sys.Topo.HBMCapacity()) / 1e9,
 	}
 
-	runWith := func(ratio float64, policy string, rate float64, c *exflow.ServeCalibration, aware bool) *exflow.ServeReport {
+	// armSeed derives the per-ratio arm seed. Every policy at a ratio (and
+	// the memaware arm) shares it, so cross-policy and placement
+	// comparisons at that ratio see the identical arrival stream.
+	armSeed := func(ratioIdx int) uint64 { return rng.Mix64(seed, 0x0A53, uint64(ratioIdx)) }
+
+	runWith := func(ratio float64, policy string, rate float64, c *exflow.ServeCalibration, aware bool, armSeed uint64) (*exflow.ServeReport, error) {
 		o := base
 		o.Calibration = c
 		o.Oversubscription = ratio
 		o.CachePolicy = policy
 		o.MemoryAware = aware
+		o.Seed = armSeed
 		o.Phases = []exflow.ServePhase{{Name: "steady", Duration: dur, Rate: rate, Arrival: oc.arrival}}
 		rep, _, err := exflow.Serve(sys, o)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
-			os.Exit(1)
-		}
-		return rep
-	}
-	run := func(ratio float64, policy string, rate float64) *exflow.ServeReport {
-		return runWith(ratio, policy, rate, cal, false)
+		return rep, err
 	}
 
 	baseRate := oc.provision * cal.Metrics.RequestCapacity
-	disabled := run(0, "", baseRate)
-	sum.DisabledP95 = disabled.Overall.P95
-	fmt.Printf("memory disabled: P95 %.4fs at %.1f req/s\n", disabled.Overall.P95, baseRate)
 
-	record := func(ratio float64, policy, placement string, rate float64, rep *exflow.ServeReport) float64 {
+	var (
+		mu   sync.Mutex
+		arms []sweepArm
+		errs []error
+	)
+	collect := func(a sweepArm, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs = append(errs, err)
+			return
+		}
+		arms = append(arms, a)
+	}
+
+	var wg sync.WaitGroup
+	// The memory-disabled baseline rides the 1x arm's seed: the 1x
+	// acceptance check asserts bitwise-equal outcomes, which only means
+	// something when both runs saw the same arrivals.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep, err := runWith(0, "", baseRate, cal, false, armSeed(0))
+		collect(sweepArm{ratioIdx: -1, rate: baseRate, rep: rep}, err)
+	}()
+	for i, ratio := range exflow.MemorySweepRatios {
+		wg.Add(1)
+		go func(i int, ratio float64) {
+			defer wg.Done()
+			rate := baseRate
+			policies := expertmem.PolicyNames()
+			if ratio == 1 {
+				// At 1x every expert is resident, so the policy can never
+				// act: one run stands for all of them.
+				policies = []string{"affinity"}
+			} else {
+				capTok, err := exflow.ProbeMemoryCapacity(sys, base, ratio, dur/2)
+				if err != nil {
+					collect(sweepArm{}, err)
+					return
+				}
+				rate = oc.provision * capTok / float64(decode)
+			}
+			var pwg sync.WaitGroup
+			for _, policy := range policies {
+				pwg.Add(1)
+				go func(policy string) {
+					defer pwg.Done()
+					rep, err := runWith(ratio, policy, rate, cal, false, armSeed(i))
+					collect(sweepArm{ratioIdx: i, ratio: ratio, policy: policy, rate: rate, rep: rep}, err)
+				}(policy)
+			}
+			if oc.memaware {
+				// The memory-aware arm: same policy, same offered rate, but
+				// the placement was solved with the expert-stall term in
+				// the objective. At 1x the term is inactive and the solve
+				// must be bit-identical to the crossing-only one.
+				pwg.Add(1)
+				go func() {
+					defer pwg.Done()
+					memPl := sys.SolvePlacementMemoryAware(cal.Trace, ratio, "affinity", 0, oc.hostSlots)
+					calMem := *cal
+					calMem.Placement = memPl
+					rep, err := runWith(ratio, "affinity", rate, &calMem, true, armSeed(i))
+					collect(sweepArm{ratioIdx: i, ratio: ratio, policy: "affinity", placement: "memory-aware",
+						rate: rate, rep: rep, memPl: memPl}, err)
+				}()
+			}
+			pwg.Wait()
+		}(i, ratio)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		// Arms fail independently; report every error, not just the first
+		// collected (whose identity depends on goroutine scheduling).
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+		}
+		os.Exit(1)
+	}
+
+	// Deterministic order regardless of completion order: baseline first,
+	// then (ratio, policy, placement) ascending.
+	sort.Slice(arms, func(a, b int) bool {
+		x, y := arms[a], arms[b]
+		if x.ratio != y.ratio {
+			return x.ratio < y.ratio
+		}
+		if x.policy != y.policy {
+			return x.policy < y.policy
+		}
+		return x.placement < y.placement
+	})
+
+	record := func(a sweepArm) float64 {
+		rep := a.rep
 		em := rep.ExpertMem
 		hit := em.EffectiveHitRate()
 		sum.Runs = append(sum.Runs, memRunJSON{
-			Ratio: ratio, Policy: policy, Placement: placement, OfferedRPS: rate,
+			Ratio: a.ratio, Policy: a.policy, Placement: a.placement, OfferedRPS: a.rate,
 			HitRate: hit, LateHits: em.LateHits, Misses: em.Misses,
 			Prefetches: em.Prefetches, PrefetchHits: em.PrefetchHits, WastedPrefetches: em.WastedPrefetches,
 			StallPerToken: rep.MemStallSeconds / float64(rep.Tokens), AccessStallTotal: em.StallSeconds,
 			P50: rep.Overall.P50, P95: rep.Overall.P95, P99: rep.Overall.P99,
 			Throughput: rep.Overall.Throughput,
 		})
-		label := policy
-		if placement != "" {
-			label += "+" + placement
+		label := a.policy
+		if a.placement != "" {
+			label += "+" + a.placement
 		}
 		fmt.Printf("  %.1fx %-17s hit %5.1f%%  P95 %8.4fs  stall/token %.3fms  (%.1f req/s offered)\n",
-			ratio, label, hit*100, rep.Overall.P95, rep.MemStallSeconds/float64(rep.Tokens)*1e3, rate)
+			a.ratio, label, hit*100, rep.Overall.P95, rep.MemStallSeconds/float64(rep.Tokens)*1e3, a.rate)
 		return hit
 	}
 
-	var oneX, lru2x, aff2x *exflow.ServeReport
+	var disabled, oneX, lru2x, aff2x *exflow.ServeReport
 	affHit := map[float64]float64{}
 	affRep := map[float64]*exflow.ServeReport{}
 	memHit := map[float64]float64{}
 	memRep := map[float64]*exflow.ServeReport{}
 	memOneXIdentical := false
-	for _, ratio := range exflow.MemorySweepRatios {
-		rate := baseRate
-		policies := expertmem.PolicyNames()
-		if ratio == 1 {
-			// At 1x every expert is resident, so the policy can never act:
-			// one run stands for all of them.
-			policies = []string{"affinity"}
-		} else {
-			capTok, err := exflow.ProbeMemoryCapacity(sys, base, ratio, dur/2)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "exflow-serve:", err)
-				os.Exit(1)
-			}
-			rate = oc.provision * capTok / float64(decode)
+	var memPl1x *placement.Placement
+	for _, a := range arms {
+		if a.ratioIdx == -1 {
+			disabled = a.rep
+			sum.DisabledP95 = a.rep.Overall.P95
+			fmt.Printf("memory disabled: P95 %.4fs at %.1f req/s\n", a.rep.Overall.P95, a.rate)
 		}
-		for _, policy := range policies {
-			rep := run(ratio, policy, rate)
-			hit := record(ratio, policy, "", rate, rep)
-			if policy == "affinity" {
-				affHit[ratio], affRep[ratio] = hit, rep
-			}
-			switch {
-			case ratio == 1 && policy == "affinity":
-				oneX = rep
-			case ratio == 2 && policy == "lru":
-				lru2x = rep
-			case ratio == 2 && policy == "affinity":
-				aff2x = rep
-			}
+	}
+	for _, a := range arms {
+		if a.ratioIdx == -1 {
+			continue
 		}
-		if oc.memaware {
-			// The memory-aware arm: same policy, same offered rate, but the
-			// placement was solved with the expert-stall term in the
-			// objective. At 1x the term is inactive and the solve must be
-			// bit-identical to the crossing-only one.
-			memPl := sys.SolvePlacementMemoryAware(cal.Trace, ratio, "affinity", 0, oc.hostSlots)
-			calMem := *cal
-			calMem.Placement = memPl
-			rep := runWith(ratio, "affinity", rate, &calMem, true)
-			memHit[ratio], memRep[ratio] = record(ratio, "affinity", "memory-aware", rate, rep), rep
-			if ratio == 1 {
-				memOneXIdentical = memPl.Equal(cal.Placement) &&
-					rep.Overall.P95 == affRep[1].Overall.P95 && rep.Makespan == affRep[1].Makespan
+		hit := record(a)
+		if a.placement == "memory-aware" {
+			memHit[a.ratio], memRep[a.ratio] = hit, a.rep
+			if a.ratio == 1 {
+				memPl1x = a.memPl
 			}
+			continue
 		}
+		if a.policy == "affinity" {
+			affHit[a.ratio], affRep[a.ratio] = hit, a.rep
+		}
+		switch {
+		case a.ratio == 1 && a.policy == "affinity":
+			oneX = a.rep
+		case a.ratio == 2 && a.policy == "lru":
+			lru2x = a.rep
+		case a.ratio == 2 && a.policy == "affinity":
+			aff2x = a.rep
+		}
+	}
+	if oc.memaware && memPl1x != nil && memRep[1] != nil && affRep[1] != nil {
+		memOneXIdentical = memPl1x.Equal(cal.Placement) &&
+			memRep[1].Overall.P95 == affRep[1].Overall.P95 && memRep[1].Makespan == affRep[1].Makespan
 	}
 
 	a := &sum.Acceptance

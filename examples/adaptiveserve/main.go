@@ -36,6 +36,8 @@ func main() {
 		Replicas:     2,
 		DecodeTokens: 32,
 		LoadFrac:     0.95, // near the knee, where placement quality is latency
+		SolveSeconds: 0.25, // the re-solve overlaps serving; only the copy pauses
+		SolveWorkers: 4,    // deterministic 4-replica solve portfolio
 		Phases: []exflow.ServePhase{
 			{Name: "warm", Duration: 10},                                  // profiled distribution
 			{Name: "drift", Duration: 20, Dataset: exflow.ViralDataset()}, // viral burst
@@ -71,7 +73,11 @@ func main() {
 	st, ad := static.WindowStats(tail0, tail1), adaptive.WindowStats(tail0, tail1)
 	fmt.Printf("\nafter the fleet settles (last 10s): static P95 %.3fs, adaptive P95 %.3fs\n", st.P95, ad.P95)
 	for _, m := range adaptive.Migrations {
-		fmt.Printf("the re-placement moved %d experts (%d cross-node) for a %.0fms pause per replica\n",
-			m.Moves, m.CrossNodeMoves, m.Seconds*1e3)
+		fmt.Printf("the re-placement solved for %.0fms in the background (serving continued), then moved %d experts (%d cross-node) for a %.0fms pause per replica\n",
+			m.SolveSeconds*1e3, m.Moves, m.CrossNodeMoves, m.Seconds*1e3)
+	}
+	if adaptive.DiscardedSolves > 0 {
+		fmt.Printf("%d of %d background solves were discarded by the staleness guard\n",
+			adaptive.DiscardedSolves, adaptive.Solves)
 	}
 }

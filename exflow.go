@@ -56,6 +56,13 @@ type SystemOptions struct {
 	Dataset *synth.DatasetProfile
 	// TopK is the gating fan-out (0 means the model config's value).
 	TopK int
+	// SolveWorkers is the placement solver's parallel portfolio width: the
+	// staged pipeline's annealing runs that many independently seeded
+	// replicas per stage (and solves stage-2 node subproblems concurrently)
+	// and keeps the best result by objective, ties broken in seed order.
+	// Any fixed value is deterministic; 0 or 1 is the serial solve,
+	// bit-identical to previous releases.
+	SolveWorkers int
 	// Seed makes the whole system deterministic.
 	Seed uint64
 }
@@ -68,7 +75,10 @@ type System struct {
 	Kernel  *synth.Kernel
 	Topo    *topo.Topology
 	Dataset *synth.DatasetProfile
-	Seed    uint64
+	// SolveWorkers is the placement-solver portfolio width (see
+	// SystemOptions.SolveWorkers); 0 or 1 solves serially.
+	SolveWorkers int
+	Seed         uint64
 }
 
 // NewSystem materializes a deterministic system.
@@ -96,12 +106,13 @@ func NewSystem(opts SystemOptions) *System {
 		DomainTilt: opts.DomainTilt,
 	})
 	return &System{
-		Model:   moe.NewModel(cfg, rng.Mix64(opts.Seed, 0x30D)),
-		Router:  synth.NewKernelRouter(kernel, ds, cfg.TopK),
-		Kernel:  kernel,
-		Topo:    topo.ForGPUs(opts.GPUs),
-		Dataset: ds,
-		Seed:    opts.Seed,
+		Model:        moe.NewModel(cfg, rng.Mix64(opts.Seed, 0x30D)),
+		Router:       synth.NewKernelRouter(kernel, ds, cfg.TopK),
+		Kernel:       kernel,
+		Topo:         topo.ForGPUs(opts.GPUs),
+		Dataset:      ds,
+		SolveWorkers: opts.SolveWorkers,
+		Seed:         opts.Seed,
 	}
 }
 
@@ -127,7 +138,8 @@ func (s *System) ProfileOn(ds *synth.DatasetProfile, tokens, offset int) *trace.
 // SolvePlacement runs the production two-stage (node, then GPU) affinity
 // placement pipeline on a profiling trace.
 func (s *System) SolvePlacement(tr *trace.Trace) *placement.Placement {
-	return placement.Staged(tr.AllTransitionCounts(), s.Model.Cfg.Layers, s.Model.Cfg.Experts, s.Topo, s.Seed)
+	return placement.StagedOpt(tr.AllTransitionCounts(), s.Model.Cfg.Layers, s.Model.Cfg.Experts, s.Topo, s.Seed,
+		placement.StagedOptions{Workers: s.SolveWorkers})
 }
 
 // SolvePlacementMemoryAware runs the staged pipeline with the expected
@@ -145,7 +157,7 @@ func (s *System) SolvePlacementMemoryAware(tr *trace.Trace, oversub float64, pol
 	cfg := s.Model.Cfg
 	counts := tr.AllTransitionCounts()
 	if oversub == 0 {
-		return placement.Staged(counts, cfg.Layers, cfg.Experts, s.Topo, s.Seed)
+		return s.SolvePlacement(tr)
 	}
 	if oversub < 1 {
 		panic(fmt.Sprintf("exflow: oversubscription must be 0 (off) or >= 1, got %v", oversub))
@@ -161,7 +173,7 @@ func (s *System) SolvePlacementMemoryAware(tr *trace.Trace, oversub float64, pol
 		oversub, pol, prefetchK, hostSlots, counts)
 	mo := placement.NewMemoryObjective(mcfg, 0)
 	return placement.StagedOpt(counts, cfg.Layers, cfg.Experts, s.Topo, s.Seed,
-		placement.StagedOptions{Memory: mo})
+		placement.StagedOptions{Memory: mo, Workers: s.SolveWorkers})
 }
 
 // Baseline returns the Deepspeed-MoE contiguous placement.

@@ -215,16 +215,19 @@ func (mo *MemoryObjective) restrict(residents [][]int) *MemoryObjective {
 	return sub
 }
 
-// memState is the annealer's incremental view of the memory term: per-GPU
-// assigned-item lists and their cached stall costs, so pricing an intra-layer
-// swap touches only the two affected GPUs (O(PerGPU log PerGPU)) instead of
-// re-scanning the whole placement.
+// memState is the dense reference implementation of the annealer's
+// incremental memory term: per-GPU assigned-item lists and their cached
+// stall costs, where pricing an intra-layer swap copies and re-sorts the
+// two affected GPUs' sets (O(PerGPU log PerGPU) per proposal). The
+// production path is sortedMemState below, which prices the same swap
+// without sorting; memState is kept (behind AnnealOptions.Dense) as the
+// ground truth the sortless path is tested bit-identical against.
 type memState struct {
 	mo      *MemoryObjective
 	items   [][]int32 // per GPU: packed (l*experts+e) ids, unordered
 	pos     []int32   // item id -> index within its GPU's list
 	cost    []float64 // per GPU cached stall seconds
-	total   float64
+	sum     float64
 	scratch []int32
 }
 
@@ -253,10 +256,13 @@ func newMemState(mo *MemoryObjective, p *Placement) *memState {
 		for i, id := range ms.items[g] {
 			ms.pos[id] = int32(i)
 		}
-		ms.total += ms.cost[g]
+		ms.sum += ms.cost[g]
 	}
 	return ms
 }
+
+func (ms *memState) total() float64        { return ms.sum }
+func (ms *memState) gpuCost(g int) float64 { return ms.cost[g] }
 
 // swapCost prices the hypothetical swap of experts a and b at layer j
 // between GPUs ga and gb, returning the two GPUs' new stall costs without
@@ -288,7 +294,133 @@ func (ms *memState) apply(j, a, b, ga, gb int, newGa, newGb float64) {
 	ms.items[ga][ms.pos[idA]] = idB
 	ms.items[gb][ms.pos[idB]] = idA
 	ms.pos[idA], ms.pos[idB] = ms.pos[idB], ms.pos[idA]
-	ms.total += newGa + newGb - ms.cost[ga] - ms.cost[gb]
+	ms.sum += newGa + newGb - ms.cost[ga] - ms.cost[gb]
 	ms.cost[ga] = newGa
 	ms.cost[gb] = newGb
+}
+
+// lessID is the residency order: demand mass descending, id ascending on
+// ties. Ids are unique, so this is a strict total order — the sorted
+// sequence of any item set is unique, which is what lets sortedMemState's
+// insertion-maintained order reproduce gpuStall's sort exactly.
+func (mo *MemoryObjective) lessID(a, b int32) bool {
+	ma, mb := mo.mass[a], mo.mass[b]
+	if ma != mb {
+		return ma > mb
+	}
+	return a < b
+}
+
+// sortedMemState is the production memory pricer: each GPU's assigned set
+// is kept permanently sorted in residency order, so pricing a swap is a
+// single merge pass that drops one id, inserts the other, and freshly sums
+// the mass*fetch tail past the slot budget — no per-proposal sort. The
+// tail is summed in the same element order as memState's gpuStall (the
+// residency order is unique), so both pricers return bit-identical stall
+// values and the two anneal paths accept identical move sequences.
+type sortedMemState struct {
+	mo      *MemoryObjective
+	order   [][]int32 // per GPU: ids sorted by lessID
+	cost    []float64 // per GPU cached stall seconds
+	sum     float64
+	scratch []int32
+}
+
+func newSortedMemState(mo *MemoryObjective, p *Placement) *sortedMemState {
+	ms := &sortedMemState{
+		mo:      mo,
+		order:   make([][]int32, p.GPUs),
+		cost:    make([]float64, p.GPUs),
+		scratch: make([]int32, 0, mo.PerGPU),
+	}
+	for g := range ms.order {
+		ms.order[g] = make([]int32, 0, mo.PerGPU)
+	}
+	for l := 0; l < p.Layers; l++ {
+		for e := 0; e < p.Experts; e++ {
+			g := p.Assign[l][e]
+			ms.order[g] = append(ms.order[g], int32(l*mo.experts+e))
+		}
+	}
+	for g := range ms.order {
+		lst := ms.order[g]
+		sort.Slice(lst, func(a, b int) bool { return mo.lessID(lst[a], lst[b]) })
+		ms.cost[g] = ms.tailSum(lst)
+		ms.sum += ms.cost[g]
+	}
+	return ms
+}
+
+func (ms *sortedMemState) total() float64        { return ms.sum }
+func (ms *sortedMemState) gpuCost(g int) float64 { return ms.cost[g] }
+
+// tailSum prices a residency-ordered set: the top Slots are resident for
+// free, the rest pay mass*fetch — the same summation, in the same order,
+// as gpuStall's final loop.
+func (ms *sortedMemState) tailSum(ids []int32) float64 {
+	if len(ids) <= ms.mo.Slots {
+		return 0
+	}
+	stall := 0.0
+	for _, it := range ids[ms.mo.Slots:] {
+		stall += ms.mo.mass[it] * ms.mo.fetch[it]
+	}
+	return stall
+}
+
+// swapCost prices the hypothetical swap without mutating the state.
+func (ms *sortedMemState) swapCost(j, a, b, ga, gb int) (newGa, newGb float64) {
+	idA := int32(j*ms.mo.experts + a)
+	idB := int32(j*ms.mo.experts + b)
+	return ms.replacedStall(ga, idA, idB), ms.replacedStall(gb, idB, idA)
+}
+
+// replacedStall prices GPU g's set with item out replaced by item in: one
+// merge pass builds the post-swap residency order in scratch (out dropped,
+// in inserted at its sorted position), then the tail past the slot budget
+// is summed fresh.
+func (ms *sortedMemState) replacedStall(g int, out, in int32) float64 {
+	ms.scratch = ms.scratch[:0]
+	inserted := false
+	for _, id := range ms.order[g] {
+		if id == out {
+			continue
+		}
+		if !inserted && ms.mo.lessID(in, id) {
+			ms.scratch = append(ms.scratch, in)
+			inserted = true
+		}
+		ms.scratch = append(ms.scratch, id)
+	}
+	if !inserted {
+		ms.scratch = append(ms.scratch, in)
+	}
+	return ms.tailSum(ms.scratch)
+}
+
+// apply commits a swap previously priced by swapCost, splicing each GPU's
+// sorted order in place (binary search + copy, no sort).
+func (ms *sortedMemState) apply(j, a, b, ga, gb int, newGa, newGb float64) {
+	idA := int32(j*ms.mo.experts + a)
+	idB := int32(j*ms.mo.experts + b)
+	ms.replace(ga, idA, idB)
+	ms.replace(gb, idB, idA)
+	ms.sum += newGa + newGb - ms.cost[ga] - ms.cost[gb]
+	ms.cost[ga] = newGa
+	ms.cost[gb] = newGb
+}
+
+// replace removes out from GPU g's sorted order and inserts in at its
+// sorted position.
+func (ms *sortedMemState) replace(g int, out, in int32) {
+	lst := ms.order[g]
+	po := sort.Search(len(lst), func(i int) bool { return !ms.mo.lessID(lst[i], out) })
+	ins := sort.Search(len(lst), func(i int) bool { return ms.mo.lessID(in, lst[i]) })
+	if ins <= po {
+		copy(lst[ins+1:po+1], lst[ins:po])
+		lst[ins] = in
+	} else {
+		copy(lst[po:ins-1], lst[po+1:ins])
+		lst[ins-1] = in
+	}
 }

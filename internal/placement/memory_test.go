@@ -104,8 +104,8 @@ func TestMemStateIncrementalMatchesFullEval(t *testing.T) {
 	}
 	p := Random(5, 16, 4, 11)
 	ms := newMemState(mo, p)
-	if math.Abs(ms.total-mo.StallSeconds(p)) > 1e-9 {
-		t.Fatalf("initial memState total %v != full eval %v", ms.total, mo.StallSeconds(p))
+	if math.Abs(ms.total()-mo.StallSeconds(p)) > 1e-9 {
+		t.Fatalf("initial memState total %v != full eval %v", ms.total(), mo.StallSeconds(p))
 	}
 	r := rng.New(99)
 	for i := 0; i < 500; i++ {
@@ -117,8 +117,8 @@ func TestMemStateIncrementalMatchesFullEval(t *testing.T) {
 		newGa, newGb := ms.swapCost(j, a, b, ga, gb)
 		p.Assign[j][a], p.Assign[j][b] = gb, ga
 		ms.apply(j, a, b, ga, gb, newGa, newGb)
-		if full := mo.StallSeconds(p); math.Abs(ms.total-full) > 1e-9 {
-			t.Fatalf("step %d: incremental total %v != full eval %v", i, ms.total, full)
+		if full := mo.StallSeconds(p); math.Abs(ms.total()-full) > 1e-9 {
+			t.Fatalf("step %d: incremental total %v != full eval %v", i, ms.total(), full)
 		}
 	}
 }

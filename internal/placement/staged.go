@@ -2,14 +2,27 @@ package placement
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/topo"
 )
 
+// SolveOptions tunes the single-level Solve pipeline.
+type SolveOptions struct {
+	// Seed feeds the annealer (and derives portfolio replica seeds).
+	Seed uint64
+	// Memory optionally folds expected expert-stall into the annealing
+	// objective (see SolveMem).
+	Memory *MemoryObjective
+	// Workers is the annealing portfolio width (see AnnealOptions.Workers);
+	// zero or one is the single-replica solve, bit-identical to Solve.
+	Workers int
+}
+
 // Solve runs the production single-level pipeline: LayerSweep coordinate
 // descent refined by simulated annealing. seed feeds the annealer.
 func Solve(counts [][][]float64, layers, experts, gpus int, seed uint64) *Placement {
-	return SolveMem(counts, layers, experts, gpus, seed, nil)
+	return SolveOpt(counts, layers, experts, gpus, SolveOptions{Seed: seed})
 }
 
 // SolveMem is Solve with an optional memory-aware objective: the sweep
@@ -17,8 +30,15 @@ func Solve(counts [][][]float64, layers, experts, gpus int, seed uint64) *Placem
 // notion), and the annealing polish prices crossings plus expected
 // expert-stall. A nil or inactive objective reproduces Solve bit-identically.
 func SolveMem(counts [][][]float64, layers, experts, gpus int, seed uint64, mem *MemoryObjective) *Placement {
+	return SolveOpt(counts, layers, experts, gpus, SolveOptions{Seed: seed, Memory: mem})
+}
+
+// SolveOpt is the fully-optioned single-level pipeline: LayerSweep followed
+// by an annealing polish that can run as a parallel portfolio. Zero options
+// (beyond Seed) reproduce Solve bit-identically.
+func SolveOpt(counts [][][]float64, layers, experts, gpus int, opts SolveOptions) *Placement {
 	p := LayerSweep(counts, layers, experts, gpus, LayerSweepOptions{})
-	return Anneal(counts, p, AnnealOptions{Seed: seed, Memory: mem})
+	return Anneal(counts, p, AnnealOptions{Seed: opts.Seed, Memory: opts.Memory, Workers: opts.Workers})
 }
 
 // StagedOptions tunes the two-stage hierarchical solve.
@@ -28,6 +48,11 @@ type StagedOptions struct {
 	// pooled HBM budget (GPUsPerNode * Slots), and each node's GPU stage
 	// prices the real per-GPU budget over the node's residents.
 	Memory *MemoryObjective
+	// Workers is the annealing portfolio width applied to both stages (see
+	// AnnealOptions.Workers), and additionally lets stage 2's independent
+	// per-node subproblems run concurrently. Any fixed value is
+	// deterministic; zero or one reproduces the serial solve bit-identically.
+	Workers int
 }
 
 // Staged implements the paper's two-stage hierarchical optimization
@@ -49,24 +74,26 @@ func StagedOpt(counts [][][]float64, layers, experts int, tp *topo.Topology, see
 	gpus := tp.TotalGPUs()
 	checkShape(experts, gpus)
 	if tp.Nodes == 1 {
-		return SolveMem(counts, layers, experts, gpus, seed, opts.Memory)
+		return SolveOpt(counts, layers, experts, gpus, SolveOptions{Seed: seed, Memory: opts.Memory, Workers: opts.Workers})
 	}
 	if experts%tp.Nodes != 0 {
 		panic(fmt.Sprintf("placement: experts %d not divisible by nodes %d", experts, tp.Nodes))
 	}
 
 	// Stage 1: place experts onto nodes, each node pooling its GPUs' HBM.
-	nodePl := SolveMem(counts, layers, experts, tp.Nodes, seed, opts.Memory.group(tp.GPUsPerNode))
+	nodePl := SolveOpt(counts, layers, experts, tp.Nodes,
+		SolveOptions{Seed: seed, Memory: opts.Memory.group(tp.GPUsPerNode), Workers: opts.Workers})
 
 	// Stage 2: within each node, place its residents onto the node's GPUs.
 	// Each node's subproblem only sees transition weight between experts
 	// resident on the node in adjacent layers — transitions entering or
 	// leaving the node already pay the inter-node price regardless of the
 	// local GPU chosen (stage 1 fixed that), so they do not constrain
-	// stage 2.
+	// stage 2. The subproblems are fully independent (disjoint experts,
+	// disjoint GPU ranks), so with Workers > 1 they solve concurrently.
 	final := NewPlacement(layers, experts, gpus)
 	perGPU := experts / gpus
-	for node := 0; node < tp.Nodes; node++ {
+	solveNode := func(node int) {
 		// residents[j] = experts of layer j on this node (in index order).
 		residents := make([][]int, layers)
 		index := make([][]int, layers) // expert -> local slot, or -1
@@ -100,11 +127,27 @@ func StagedOpt(counts [][][]float64, layers, experts int, tp *topo.Topology, see
 		if opts.Memory.Active() {
 			subMem = opts.Memory.restrict(residents)
 		}
-		subPl := SolveMem(sub, layers, perNode, tp.GPUsPerNode, seed+uint64(node)+1, subMem)
+		subPl := SolveOpt(sub, layers, perNode, tp.GPUsPerNode,
+			SolveOptions{Seed: seed + uint64(node) + 1, Memory: subMem, Workers: opts.Workers})
 		for j := 0; j < layers; j++ {
 			for slot, e := range residents[j] {
 				final.Assign[j][e] = tp.Rank(node, subPl.Assign[j][slot])
 			}
+		}
+	}
+	if opts.Workers > 1 {
+		var wg sync.WaitGroup
+		for node := 0; node < tp.Nodes; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				solveNode(node)
+			}(node)
+		}
+		wg.Wait()
+	} else {
+		for node := 0; node < tp.Nodes; node++ {
+			solveNode(node)
 		}
 	}
 	// The construction guarantees balance: each node holds E/nodes experts

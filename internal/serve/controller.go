@@ -9,7 +9,16 @@ import (
 // MigrationEvent records one live re-placement: when the controller fired,
 // what it cost, and what it predicted the new placement would buy.
 type MigrationEvent struct {
-	// Time is the simulated second the controller decided to migrate.
+	// SolveStarted is the simulated second the drift detector fired and the
+	// background re-solve began; SolveSeconds is how long the solve
+	// overlapped serving on the simulated clock (Options.SolveSeconds).
+	// The fleet keeps decoding throughout — solve time is overlap, never
+	// pause, and is deliberately not part of Seconds below.
+	SolveStarted float64
+	SolveSeconds float64
+	// Time is the simulated second the controller decided to migrate (the
+	// background solve finished and cleared the staleness and MinGain
+	// gates).
 	Time float64
 	// Completed is when the last replica finished its parameter copy.
 	Completed float64
@@ -19,7 +28,8 @@ type MigrationEvent struct {
 	Moves, CrossNodeMoves int
 	// Seconds is the per-replica serving pause charged to the simulated
 	// clock while that replica's expert parameters are copied (including
-	// ChurnSeconds when tiered expert memory is on).
+	// ChurnSeconds when tiered expert memory is on). Solve time is never
+	// included — see SolveSeconds.
 	Seconds float64
 	// PredictedGain is the fractional reduction in live-window crossings the
 	// re-solved placement promises (1 - fresh/stale).
@@ -50,13 +60,38 @@ type pendingMigration struct {
 	next  int
 }
 
+// pendingSolve is a background re-solve in flight: the controller snapshots
+// the live window, hands the solve to a goroutine, and the server charges
+// Options.SolveSeconds to the simulated clock as overlap — the fleet keeps
+// serving while the solver runs, exactly as a production control plane
+// would re-solve off the serving path.
+type pendingSolve struct {
+	// started / score are the drift observation that launched the solve.
+	started float64
+	score   float64
+	// pooled is the window's pooled transition distribution at solve start:
+	// the staleness reference. If the live distribution drifts past the
+	// detector threshold again while the solve runs, the solution answers a
+	// stale question and is discarded.
+	pooled [][]float64
+	// counts is the deep-copied window snapshot the solve runs on.
+	counts [][][]float64
+	// mo is the memory objective priced into the solve (nil when off).
+	mo *placement.MemoryObjective
+	// result delivers the solved placement; the channel is buffered so the
+	// solver goroutine never blocks on a consumer.
+	result chan *placement.Placement
+}
+
 // controller is the background re-placement loop: it watches the live
-// TraceWindow through a drift Detector and, when drift persists, re-solves
-// the placement on the live counts, prices the migration, and hands the
-// server a rolling migration plan. The FPTAS-for-ISSP lineage motivates
-// treating this as an incremental budgeted step — canonicalization keeps the
-// move set near-minimal and MinGain rejects re-solves that would churn
-// parameters for marginal benefit.
+// TraceWindow through a drift Detector and, when drift persists, snapshots
+// the window, re-solves the placement on the snapshot in a background
+// goroutine (observe), and — once the solve's simulated latency has elapsed
+// — prices the migration and hands the server a rolling migration plan
+// (complete). The FPTAS-for-ISSP lineage motivates treating this as an
+// incremental budgeted step — canonicalization keeps the move set
+// near-minimal and MinGain rejects re-solves that would churn parameters
+// for marginal benefit.
 type controller struct {
 	opts   *Options
 	window *TraceWindow
@@ -68,6 +103,7 @@ type controller struct {
 
 	cooldownUntil float64
 	solves        int
+	discards      int
 }
 
 func newController(opts *Options, window *TraceWindow, baseline [][]float64) *controller {
@@ -79,10 +115,14 @@ func newController(opts *Options, window *TraceWindow, baseline [][]float64) *co
 }
 
 // observe scores the live window and, when the detector fires under the
-// controller's gating conditions, returns a migration plan (nil otherwise).
-// busy indicates a migration is already in flight.
-func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (float64, *pendingMigration) {
-	score, fired := c.det.Observe(c.window.Pooled())
+// controller's gating conditions, snapshots the window and launches a
+// background re-solve, returning its handle (nil otherwise). busy indicates
+// a migration or another solve is already in flight.
+func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (float64, *pendingSolve) {
+	// Pooled allocates a fresh matrix; one call serves both the detector
+	// score and (below) the staleness snapshot — Observe does not retain it.
+	pooled := c.window.Pooled()
+	score, fired := c.det.Observe(pooled)
 	if !c.opts.Adaptive || busy || !fired {
 		return score, nil
 	}
@@ -96,30 +136,62 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 	// the once-optimal hot-set split decays with routing drift exactly like
 	// the crossing structure does.
 	mo := c.memObjective(cur, counts)
-	fresh := placement.StagedOpt(counts, cur.Layers, cur.Experts, c.opts.Topo,
-		c.opts.Seed+uint64(c.solves)*0x51ED, placement.StagedOptions{Memory: mo})
+	ps := &pendingSolve{
+		started: now,
+		score:   score,
+		pooled:  pooled,
+		counts:  counts,
+		mo:      mo,
+		result:  make(chan *placement.Placement, 1),
+	}
+	seed := c.opts.Seed + uint64(c.solves)*0x51ED
+	layers, experts := cur.Layers, cur.Experts
+	tp, workers := c.opts.Topo, c.opts.SolveWorkers
+	go func() {
+		ps.result <- placement.StagedOpt(counts, layers, experts, tp, seed,
+			placement.StagedOptions{Memory: mo, Workers: workers})
+	}()
+	return score, ps
+}
+
+// complete collects a finished background solve: it applies the staleness
+// guard, prices the candidate placement against the snapshot it was solved
+// on, and returns a migration plan — or nil when the solve is discarded
+// (stale) or rejected (below MinGain).
+func (c *controller) complete(now float64, cur *placement.Placement, ps *pendingSolve) *pendingMigration {
+	fresh := <-ps.result
+	// Staleness guard: if routing drifted past the detector threshold again
+	// while the solve ran, the solution optimizes a distribution that no
+	// longer exists. Discard it — the detector streak is still hot, so the
+	// next drift check launches a new solve on the fresher window.
+	if Divergence(c.opts.Metric, ps.pooled, c.window.Pooled()) > c.opts.DriftThreshold {
+		c.discards++
+		return nil
+	}
 	canon := placement.CanonicalizeTopo(cur, fresh, c.opts.Topo.GPUsPerNode)
 	// Gain is measured in modeled per-token service time, the quantity the
 	// queue actually feels — not raw crossings, which weight an NVLink hop
 	// the same as an IB hop. The memory-aware term adds each placement's
 	// predicted stall per token on top of the hop cost.
 	gain := 0.0
-	staleStall, freshStall := mo.StallPerToken(cur), mo.StallPerToken(canon)
-	if stale := c.perTokenCost(counts, cur) + staleStall; stale > 0 {
-		gain = 1 - (c.perTokenCost(counts, canon)+freshStall)/stale
+	staleStall, freshStall := ps.mo.StallPerToken(cur), ps.mo.StallPerToken(canon)
+	if stale := c.perTokenCost(ps.counts, cur) + staleStall; stale > 0 {
+		gain = 1 - (c.perTokenCost(ps.counts, canon)+freshStall)/stale
 	}
 	if gain < c.opts.MinGain {
 		// Not worth the parameter traffic; back off before re-solving again.
 		c.cooldownUntil = now + c.opts.Cooldown
 		c.det.Rebase(c.det.baseline) // clear the hot streak, keep the baseline
-		return score, nil
+		return nil
 	}
 	// Price exactly the placement being installed (PriceMigration would
 	// re-canonicalize and could plan for a different relabeling).
 	plan := placement.PriceMoves(placement.Diff(cur, canon), c.opts.Topo, c.opts.ExpertBytes)
 	ev := &MigrationEvent{
+		SolveStarted:        ps.started,
+		SolveSeconds:        now - ps.started,
 		Time:                now,
-		Score:               score,
+		Score:               ps.score,
 		Moves:               len(plan.Moves),
 		CrossNodeMoves:      plan.CrossNodeMoves,
 		Seconds:             plan.Seconds,
@@ -135,7 +207,7 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 		ev.ResidencyChurn, ev.ChurnSeconds = c.churn(plan.Moves)
 		ev.Seconds += ev.ChurnSeconds
 	}
-	return score, &pendingMigration{newPl: canon, event: ev}
+	return &pendingMigration{newPl: canon, event: ev}
 }
 
 // memObjective builds the memory-aware placement objective over the live

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/placement"
@@ -33,14 +34,23 @@ func controllerFixture(t *testing.T, minGain float64) (*controller, *placement.P
 	return ctrl, opts.Placement.Clone(), opts
 }
 
+// solveAndComplete drives the two-phase observe/complete flow until the
+// detector fires, completing the background solve solveLatency simulated
+// seconds after it started. Returns the plan (nil when discarded/rejected)
+// and the drift score that launched the solve.
+func solveAndComplete(ctrl *controller, cur *placement.Placement, patience int, solveLatency float64) (*pendingMigration, float64) {
+	for i := 0; i < patience+1; i++ {
+		score, solve := ctrl.observe(float64(i), cur, false)
+		if solve != nil {
+			return ctrl.complete(solve.started+solveLatency, cur, solve), score
+		}
+	}
+	return nil, 0
+}
+
 func TestControllerAcceptsWhenGainClearsMinGain(t *testing.T) {
 	ctrl, cur, opts := controllerFixture(t, 0.01)
-	var plan *pendingMigration
-	var score float64
-	// Patience debounces: observe until the detector has fired.
-	for i := 0; i < opts.Patience+1 && plan == nil; i++ {
-		score, plan = ctrl.observe(float64(i), cur, false)
-	}
+	plan, score := solveAndComplete(ctrl, cur, opts.Patience, 0)
 	if plan == nil {
 		t.Fatalf("drifted window (score %v) produced no plan", score)
 	}
@@ -67,10 +77,7 @@ func TestControllerRejectsBelowMinGainAndCoolsDown(t *testing.T) {
 	// An impossible gain requirement: every re-solve is rejected and the
 	// rejection opens a cooldown window.
 	ctrl, cur, opts := controllerFixture(t, 0.99)
-	var plan *pendingMigration
-	for i := 0; i < opts.Patience+1 && plan == nil; i++ {
-		_, plan = ctrl.observe(float64(i), cur, false)
-	}
+	plan, _ := solveAndComplete(ctrl, cur, opts.Patience, 0)
 	if plan != nil {
 		t.Fatalf("gain cannot clear MinGain=0.99, yet got a plan: %+v", plan.event)
 	}
@@ -136,6 +143,123 @@ func TestRollingMigrationPauseAccounting(t *testing.T) {
 		if m.ChurnSeconds != 0 || m.ResidencyChurn != 0 {
 			t.Fatalf("churn priced without a memory layer: %+v", m)
 		}
+	}
+}
+
+func TestControllerStalenessGuardDiscardsDriftedSolve(t *testing.T) {
+	// A solve that finishes after the routing mix has moved again answers a
+	// stale question: complete must discard it instead of migrating.
+	ctrl, cur, opts := controllerFixture(t, 0.01)
+	var solve *pendingSolve
+	for i := 0; i < opts.Patience+1 && solve == nil; i++ {
+		_, solve = ctrl.observe(float64(i), cur, false)
+	}
+	if solve == nil {
+		t.Fatal("drifted window launched no solve")
+	}
+	// While the solve "runs", the live mixture shifts again: overwrite the
+	// window with traffic from a different domain than the snapshot saw.
+	shifted := synth.Custom("shifted-again", []float64{1, 0, 0, 0, 0, 0}, 0x517)
+	router := synth.NewKernelRouter(opts.Kernel, shifted, 1)
+	tr := trace.Collect(router, opts.Kernel.Layers, trace.SequentialIDs(ctrl.window.Capacity(), shifted.TokenID))
+	for _, path := range tr.Paths {
+		p := make([]int, len(path))
+		for i, e := range path {
+			p[i] = int(e)
+		}
+		ctrl.window.Push(p)
+	}
+	if plan := ctrl.complete(solve.started+2, cur, solve); plan != nil {
+		t.Fatalf("stale solve was installed: %+v", plan.event)
+	}
+	if ctrl.discards != 1 {
+		t.Fatalf("discards = %d, want 1", ctrl.discards)
+	}
+	// A discard must not open a cooldown: the detector streak is still hot
+	// and the next observation should be free to launch a fresh solve.
+	if ctrl.cooldownUntil > 0 {
+		t.Fatal("discard opened a cooldown window")
+	}
+	if _, again := ctrl.observe(solve.started+3, cur, false); again == nil {
+		t.Fatal("controller could not re-solve after a discard")
+	}
+}
+
+func TestControllerSolveOverlapNotChargedToPause(t *testing.T) {
+	// The migration pause must price exactly the parameter copy (plus
+	// residency churn when present) — never the solve latency, which the
+	// fleet overlapped with serving. A solve completing 3 simulated seconds
+	// after launch must yield the same pause as an instantaneous one.
+	ctrl, cur, opts := controllerFixture(t, 0.01)
+	var solve *pendingSolve
+	for i := 0; i < opts.Patience+1 && solve == nil; i++ {
+		_, solve = ctrl.observe(float64(i), cur, false)
+	}
+	if solve == nil {
+		t.Fatal("drifted window launched no solve")
+	}
+	const latency = 3.0
+	plan := ctrl.complete(solve.started+latency, cur, solve)
+	if plan == nil {
+		t.Fatal("solve rejected")
+	}
+	ev := plan.event
+	if ev.SolveStarted != solve.started || ev.SolveSeconds != latency {
+		t.Fatalf("overlap accounting: started %v (want %v), solve %v (want %v)",
+			ev.SolveStarted, solve.started, ev.SolveSeconds, latency)
+	}
+	// Re-price the installed move set independently: the pause must equal
+	// the parameter-copy cost alone (no churn hook in this fixture), with
+	// no trace of the 3-second solve.
+	want := placement.PriceMoves(placement.Diff(cur, plan.newPl), opts.Topo, opts.ExpertBytes).Seconds
+	if ev.Seconds != want {
+		t.Fatalf("pause %v != priced parameter copy %v (solve overlap double-charged?)", ev.Seconds, want)
+	}
+	if ev.Seconds >= latency {
+		t.Fatalf("pause %v swallowed the solve latency %v", ev.Seconds, latency)
+	}
+	if ev.Time != solve.started+latency {
+		t.Fatalf("decision time %v, want solve completion %v", ev.Time, solve.started+latency)
+	}
+}
+
+func TestServeNonBlockingSolveEndToEnd(t *testing.T) {
+	// Full run with a non-zero solve latency: migrations must record the
+	// overlap, the pause accounting must be unchanged, and the run must
+	// stay deterministic.
+	opts, drifted := testSystem(t)
+	opts.Adaptive = true
+	opts.SolveSeconds = 0.4
+	opts.Phases = driftProgram(opts, drifted)
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Solves == 0 {
+		t.Fatal("no background solves launched under drift")
+	}
+	if len(rep.Migrations) == 0 {
+		t.Fatal("no migration applied")
+	}
+	for _, m := range rep.Migrations {
+		if math.Abs(m.SolveSeconds-opts.SolveSeconds) > 1e-9 {
+			t.Fatalf("migration solve overlap %v, want %v", m.SolveSeconds, opts.SolveSeconds)
+		}
+		if math.Abs(m.Time-(m.SolveStarted+opts.SolveSeconds)) > 1e-9 {
+			t.Fatalf("decision at %v, want solve start %v + %v", m.Time, m.SolveStarted, opts.SolveSeconds)
+		}
+		// Rolling pause accounting unchanged by the overlap: the fleet-wide
+		// completion still spans at least Replicas serialized pauses.
+		if m.Completed < m.Time+float64(opts.Replicas)*m.Seconds {
+			t.Fatalf("rolling migration too fast: decided %v, done %v", m.Time, m.Completed)
+		}
+	}
+	again, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Makespan != rep.Makespan || again.Iterations != rep.Iterations || len(again.Migrations) != len(rep.Migrations) {
+		t.Fatal("non-blocking solve broke determinism")
 	}
 }
 

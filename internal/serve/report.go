@@ -45,6 +45,12 @@ type Report struct {
 	QueueDepth *stats.Series
 	// Migrations lists every applied re-placement.
 	Migrations []MigrationEvent
+	// Solves counts background re-solves launched by the controller;
+	// DiscardedSolves counts those whose result was thrown away by the
+	// staleness guard (routing drifted past threshold again while the solve
+	// ran). Solves also includes re-solves rejected by MinGain.
+	Solves          int
+	DiscardedSolves int
 	// ExpertMem aggregates tiered expert-weight memory activity across the
 	// fleet (nil when Options.Oversubscription is zero). Its StallSeconds
 	// sums every access's wait even when accesses stall in parallel across
@@ -86,9 +92,12 @@ func (r *Report) WindowStats(t0, t1 float64) PhaseStats {
 		return ps
 	}
 	ps.Mean = stats.Mean(lat)
-	ps.P50 = stats.Percentile(lat, 50)
-	ps.P95 = stats.Percentile(lat, 95)
-	ps.P99 = stats.Percentile(lat, 99)
+	// One sort serves all three percentile queries (lat is local scratch);
+	// stats.Percentile would copy and re-sort per query.
+	sort.Float64s(lat)
+	ps.P50 = stats.SortedPercentile(lat, 50)
+	ps.P95 = stats.SortedPercentile(lat, 95)
+	ps.P99 = stats.SortedPercentile(lat, 99)
 	return ps
 }
 
@@ -104,6 +113,9 @@ func (r *Report) String() string {
 	for _, m := range r.Migrations {
 		fmt.Fprintf(&b, "  migration @%.2fs: score %.4f, %d moves (%d cross-node), %.1fms pause/replica, predicted gain %.1f%%",
 			m.Time, m.Score, m.Moves, m.CrossNodeMoves, m.Seconds*1e3, m.PredictedGain*100)
+		if m.SolveSeconds > 0 {
+			fmt.Fprintf(&b, ", solved in %.0fms overlap", m.SolveSeconds*1e3)
+		}
 		if m.ResidencyChurn > 0 {
 			fmt.Fprintf(&b, ", %d resident copies churned (%.1fms refetch)", m.ResidencyChurn, m.ChurnSeconds*1e3)
 		}
@@ -122,10 +134,12 @@ func (r *Report) String() string {
 // buildReport aggregates the run state.
 func (s *server) buildReport() *Report {
 	rep := &Report{
-		Migrations: s.migrations,
-		Iterations: s.iterations,
-		Requests:   len(s.arrivals),
-		Tokens:     len(s.arrivals) * s.opts.DecodeTokens,
+		Migrations:      s.migrations,
+		Solves:          s.ctrl.solves,
+		DiscardedSolves: s.ctrl.discards,
+		Iterations:      s.iterations,
+		Requests:        len(s.arrivals),
+		Tokens:          len(s.arrivals) * s.opts.DecodeTokens,
 	}
 	if s.mems != nil {
 		var mst expertmem.Stats
@@ -237,15 +251,24 @@ func (s *server) tokensIn(t0, t1 float64) float64 {
 	return float64(n)
 }
 
-// throughputSeries buckets decoded tokens over time.
+// throughputSeries buckets decoded tokens over time. The decoded ticks are
+// in event order (nondecreasing time), so one advancing pair of cursors
+// replaces a full tokensIn scan per bucket — O(iterations + buckets)
+// instead of O(iterations x buckets).
 func (s *server) throughputSeries(bucket float64) *stats.Series {
 	out := &stats.Series{Name: "tokens-per-sec"}
 	if len(s.decoded) == 0 {
 		return out
 	}
 	end := s.decoded[len(s.decoded)-1].t
+	i := 0
 	for t0 := 0.0; t0 < end; t0 += bucket {
-		out.Add(t0+bucket/2, s.tokensIn(t0, t0+bucket)/bucket)
+		t1 := t0 + bucket
+		n := 0
+		for ; i < len(s.decoded) && s.decoded[i].t < t1; i++ {
+			n += s.decoded[i].n
+		}
+		out.Add(t0+bucket/2, float64(n)/bucket)
 	}
 	return out
 }
@@ -289,7 +312,10 @@ func bucketedP95(times, lats []float64, bucket float64) *stats.Series {
 	edge := bucket
 	flush := func() {
 		if len(cur) > 0 {
-			out.Add(edge-bucket/2, stats.Percentile(cur, 95))
+			// Sort the reused scratch in place: stats.Percentile would copy
+			// (and allocate) per bucket for its own sort.
+			sort.Float64s(cur)
+			out.Add(edge-bucket/2, stats.SortedPercentile(cur, 95))
 			cur = cur[:0]
 		}
 	}

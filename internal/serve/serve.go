@@ -80,6 +80,17 @@ type Options struct {
 	// MinGain is the minimum fractional crossing reduction worth migrating
 	// for (default 0.01).
 	MinGain float64
+	// SolveSeconds is the simulated latency of one background re-solve: the
+	// controller solves on a window snapshot in a goroutine while the fleet
+	// keeps serving, and the result lands SolveSeconds later on the
+	// simulated clock — overlap, not pause. A finished solve is discarded
+	// if routing drifted past the detector threshold again while it ran
+	// (the staleness guard). Zero models an instantaneous solve.
+	SolveSeconds float64
+	// SolveWorkers is the annealing portfolio width of controller re-solves
+	// (placement.StagedOptions.Workers); any fixed value is deterministic
+	// and 0/1 reproduces the single-replica solve bit-identically.
+	SolveWorkers int
 	// Oversubscription enables tiered expert-weight memory: each replica
 	// GPU's HBM holds assigned-expert-weights/ratio expert slots, the rest
 	// page from host DRAM (expertmem). Zero disables the memory layer
@@ -159,6 +170,9 @@ func (o Options) withDefaults() Options {
 	if o.PrefetchK == 0 {
 		o.PrefetchK = 4
 	}
+	if o.SolveWorkers == 0 {
+		o.SolveWorkers = 1
+	}
 	return o
 }
 
@@ -189,6 +203,10 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("serve: CachePolicy %q set but Oversubscription is 0 (memory layer disabled); set Oversubscription >= 1 or drop the policy", o.CachePolicy)
 	case o.Oversubscription == 0 && o.MemoryAware:
 		return fmt.Errorf("serve: MemoryAware requires the tiered memory layer; set Oversubscription >= 1")
+	case o.SolveSeconds < 0:
+		return fmt.Errorf("serve: SolveSeconds must be non-negative, got %v", o.SolveSeconds)
+	case o.SolveWorkers < 0:
+		return fmt.Errorf("serve: SolveWorkers must be non-negative (zero for the default 1), got %d", o.SolveWorkers)
 	}
 	if o.Oversubscription > 0 {
 		if _, err := expertmem.ParsePolicy(o.CachePolicy); err != nil {
@@ -234,10 +252,13 @@ func (r *replica) load() int { return len(r.queue) + len(r.active) }
 
 // Event kinds, in tie-break priority order at equal timestamps: arrivals
 // first (so a request arriving exactly at an iteration boundary can be
-// admitted by it), then stall completions, then iteration completions.
+// admitted by it), then stall completions, then background-solve
+// completions (so an instantaneous solve's plan is visible to iteration
+// ends at the same timestamp), then iteration completions.
 const (
 	evArrival = iota
 	evStallEnd
+	evSolveEnd
 	evIterEnd
 )
 
@@ -282,6 +303,7 @@ type server struct {
 	events    eventHeap
 	arrivals  []*request
 	pending   *pendingMigration
+	solving   *pendingSolve
 	lastCheck float64
 	ordinal   uint64
 	seq       int
@@ -399,6 +421,8 @@ func Run(opts Options) (*Report, error) {
 			s.onIterEnd(e.t, s.replicas[e.rep])
 		case evStallEnd:
 			s.onStallEnd(e.t, s.replicas[e.rep])
+		case evSolveEnd:
+			s.onSolveEnd(e.t)
 		}
 	}
 	return s.buildReport(), nil
@@ -477,14 +501,16 @@ func (s *server) beginStall(now float64, r *replica) {
 }
 
 // maybeCheckDrift runs the periodic drift observation and, when the
-// controller returns a plan, starts the rolling migration.
+// controller launches a background re-solve, schedules its completion on
+// the simulated clock. The solve overlaps serving: no replica pauses until
+// the solve lands, clears the staleness guard, and becomes a migration.
 func (s *server) maybeCheckDrift(now float64) {
 	if now-s.lastCheck < s.opts.CheckInterval {
 		return
 	}
 	s.lastCheck = now
 	// All replicas share placement lineage; score drift against replica 0's.
-	score, plan := s.ctrl.observe(now, s.replicas[0].pl, s.pending != nil)
+	score, solve := s.ctrl.observe(now, s.replicas[0].pl, s.pending != nil || s.solving != nil)
 	s.driftT = append(s.driftT, now)
 	s.driftY = append(s.driftY, score)
 	depth := 0
@@ -493,8 +519,23 @@ func (s *server) maybeCheckDrift(now float64) {
 	}
 	s.queueT = append(s.queueT, now)
 	s.queueY = append(s.queueY, float64(depth))
-	if plan == nil {
+	if solve == nil {
 		return
+	}
+	s.solving = solve
+	s.seq++
+	heap.Push(&s.events, event{t: now + s.opts.SolveSeconds, kind: evSolveEnd, seq: s.seq})
+}
+
+// onSolveEnd collects the background re-solve. The wall-clock join with the
+// solver goroutine happens inside complete; the simulated clock already
+// charged the solve as overlap (the fleet kept decoding since SolveStarted).
+func (s *server) onSolveEnd(now float64) {
+	ps := s.solving
+	s.solving = nil
+	plan := s.ctrl.complete(now, s.replicas[0].pl, ps)
+	if plan == nil {
+		return // discarded (stale) or rejected (below MinGain)
 	}
 	s.pending = plan
 	// Idle replicas produce no events; if the first in line is idle, stall

@@ -73,16 +73,28 @@ func Max(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
-// interpolation between closest ranks. It panics on an empty slice.
+// interpolation between closest ranks. It panics on an empty slice. The
+// input is copied; hot paths that already hold sorted data (or can sort in
+// place) should use SortedPercentile to avoid the per-call copy and sort.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return SortedPercentile(sorted, p)
+}
+
+// SortedPercentile is Percentile over already-sorted (ascending) data: no
+// copy, no sort. Querying several percentiles of one sample costs one sort
+// total instead of one copy+sort per query.
+func SortedPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
 		panic("stats: Percentile of empty slice")
 	}
 	if p < 0 || p > 100 {
 		panic("stats: percentile out of range")
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

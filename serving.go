@@ -64,6 +64,18 @@ type ServeOptions struct {
 	Patience       int
 	Cooldown       float64
 	MinGain        float64
+	// SolveSeconds is the simulated latency of one background re-solve: the
+	// controller solves on a snapshot of the live window while the fleet
+	// keeps serving, charging the time to the simulated clock as overlap
+	// rather than pause. A solve that lands after routing has drifted past
+	// the detector threshold again is discarded (staleness guard; see
+	// ServeReport.DiscardedSolves). Zero models an instantaneous solve.
+	SolveSeconds float64
+	// SolveWorkers is the annealing portfolio width of background re-solves
+	// (and of the initial placement when set on the System): that many
+	// independently seeded replicas solve concurrently and the best
+	// objective wins, deterministically. 0 or 1 solves serially.
+	SolveWorkers int
 	// Oversubscription enables tiered expert-weight memory: each replica
 	// GPU's HBM holds assigned-expert-weights/ratio expert slots and the
 	// rest page from host DRAM over the topology's host link
@@ -123,7 +135,8 @@ func (o ServeOptions) Validate() error {
 	case o.CalibIters < 0:
 		return fmt.Errorf("exflow: CalibIters must be positive (zero for the default), got %d", o.CalibIters)
 	case o.CheckInterval < 0 || o.DriftThreshold < 0 || o.Patience < 0 || o.Cooldown < 0 ||
-		o.MinGain < 0 || o.LatencyBucket < 0 || o.PrefetchK < 0:
+		o.MinGain < 0 || o.LatencyBucket < 0 || o.PrefetchK < 0 ||
+		o.SolveSeconds < 0 || o.SolveWorkers < 0:
 		return fmt.Errorf("exflow: detector/controller tunables must be non-negative")
 	case o.Oversubscription < 0 || (o.Oversubscription > 0 && o.Oversubscription < 1):
 		return fmt.Errorf("exflow: Oversubscription must be 0 (off) or >= 1, got %v", o.Oversubscription)
@@ -253,6 +266,8 @@ func Serve(sys *System, opts ServeOptions) (*ServeReport, *ServeMetrics, error) 
 		Patience:         opts.Patience,
 		Cooldown:         opts.Cooldown,
 		MinGain:          opts.MinGain,
+		SolveSeconds:     opts.SolveSeconds,
+		SolveWorkers:     opts.SolveWorkers,
 		Oversubscription: opts.Oversubscription,
 		CachePolicy:      opts.CachePolicy,
 		PrefetchK:        opts.PrefetchK,
