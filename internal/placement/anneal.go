@@ -18,7 +18,9 @@ type AnnealOptions struct {
 	// Memory, when active (a binding HBM slot budget), folds the expected
 	// expert-stall cost into the objective: the annealer prices both the
 	// crossing change and the hot-set concentration change of every proposed
-	// swap. Nil or inactive leaves the crossing-only path bit-identical.
+	// swap, under the objective's residency model (static warm set or Che
+	// fractional occupancy). Nil or inactive leaves the crossing-only path
+	// bit-identical.
 	Memory *MemoryObjective
 	// Workers runs a portfolio of independent annealing replicas across
 	// goroutines and returns the best result by blended objective. Replica 0
@@ -97,10 +99,14 @@ func Anneal(counts [][][]float64, init *Placement, opts AnnealOptions) *Placemen
 }
 
 // memPricer is the annealer's incremental view of the memory term: per-GPU
-// cached stall costs re-priced two GPUs at a time per proposal. Two
-// implementations exist — sortedMemState (production: sorted residency
-// lists, no per-proposal sort) and memState (dense reference: scratch copy
-// + sort per proposal) — producing bit-identical stall values.
+// cached stall costs re-priced two GPUs at a time per proposal. Three
+// implementations exist — sortedMemState (static production: sorted
+// residency lists, no per-proposal sort), memState (static dense reference:
+// scratch copy + sort per proposal; bit-identical to sortedMemState), and
+// cheMemState (the Che residency model). The annealer always calls apply
+// immediately after the swapCost that priced the same proposal; cheMemState
+// relies on that pairing to carry its warm-started characteristic times
+// from the pricing into the commit.
 type memPricer interface {
 	total() float64
 	gpuCost(g int) float64
@@ -128,9 +134,15 @@ func annealRun(counts [][][]float64, init *Placement, opts AnnealOptions, seed u
 	var ms memPricer
 	var invHop float64
 	if memActive {
-		if opts.Dense {
+		switch {
+		case opts.Memory.Model == ResidencyChe:
+			// The Che model has one incremental pricer; Dense still selects
+			// the dense crossing path below, and the pricer is held to the
+			// from-scratch StallSeconds by TestCheMemStateIncrementalMatchesFullEval.
+			ms = newCheMemState(opts.Memory, p)
+		case opts.Dense:
 			ms = newMemState(opts.Memory, p)
-		} else {
+		default:
 			ms = newSortedMemState(opts.Memory, p)
 		}
 		invHop = 1 / opts.Memory.HopSeconds

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/expertmem"
@@ -50,11 +51,45 @@ type MemoryObjective struct {
 	PerGPU int
 	// HopSeconds converts stall seconds into crossing units.
 	HopSeconds float64
+	// Model selects the residency model: ResidencyStatic (the zero value —
+	// the top-Slots warm set above) or ResidencyChe (Che-approximation
+	// fractional occupancy; see che.go). The static path is untouched by the
+	// Che machinery and stays bit-identical across releases.
+	Model ResidencyModel
 
 	layers, experts int
 	mass            []float64 // [l*experts+e] affinity demand mass
 	fetch           []float64 // [l*experts+e] fetch seconds from the master tier
-	tokens          float64   // layer-0 demand mass (= profiled token count)
+	covered         []float64 // [l*experts+e] prefetch-covered demand fraction (nil: no prefetcher)
+	tokens          float64   // max per-layer demand mass (= profiled token count)
+}
+
+// ResidencyModel names a MemoryObjective residency model.
+type ResidencyModel string
+
+const (
+	// ResidencyStatic is the warm-set model shipped in PR 3: each GPU keeps
+	// its top-Slots assigned experts by demand mass resident, the rest always
+	// pay the full fetch. Optimistic — it cannot price LRU/LFU churn — but
+	// cheap, deterministic, and the bit-identity reference.
+	ResidencyStatic ResidencyModel = "static"
+	// ResidencyChe is the Che-approximation fractional-occupancy model: per
+	// GPU the characteristic time T solves sum(1 - exp(-mass_i*T)) = Slots,
+	// each expert misses with probability exp(-mass_i*T), and misses covered
+	// by the affinity prefetcher are discounted. See che.go.
+	ResidencyChe ResidencyModel = "che"
+)
+
+// ParseResidencyModel resolves a user-facing residency-model name ("" means
+// static).
+func ParseResidencyModel(s string) (ResidencyModel, error) {
+	switch ResidencyModel(s) {
+	case "", ResidencyStatic:
+		return ResidencyStatic, nil
+	case ResidencyChe:
+		return ResidencyChe, nil
+	}
+	return "", fmt.Errorf("placement: unknown residency model %q (want static or che)", s)
 }
 
 // NewMemoryObjective derives the residency model from a tiered-memory
@@ -78,12 +113,43 @@ func NewMemoryObjective(cfg expertmem.Config, hopSeconds float64) *MemoryObjecti
 		fetch:      make([]float64, cfg.Layers*cfg.Experts),
 	}
 	for l := 0; l < cfg.Layers; l++ {
+		layerMass := 0.0
 		for e := 0; e < cfg.Experts; e++ {
 			i := l*cfg.Experts + e
 			mo.mass[i] = m.Popularity(l, e)
 			mo.fetch[i] = m.FetchSeconds(l, e)
-			if l == 0 {
-				mo.tokens += mo.mass[i]
+			layerMass += mo.mass[i]
+		}
+		// The per-token normalizer is the max per-layer mass, not layer 0's:
+		// a demand oracle with an empty first layer (live windows can have
+		// one) would otherwise zero the normalizer while downstream stall is
+		// real, and the controller's predicted stall delta with it.
+		if layerMass > mo.tokens {
+			mo.tokens = layerMass
+		}
+	}
+	if m.Prefetching() {
+		// Prefetch-coverage oracle for the Che model: covered[(l,e)] is the
+		// fraction of (l, e)'s demand mass arriving from predecessors whose
+		// top-K successor list includes e — exactly the accesses the affinity
+		// prefetcher hints one layer ahead, whose fetch overlaps compute
+		// instead of stalling. Layer 0 has no predecessor and stays at zero.
+		mo.covered = make([]float64, cfg.Layers*cfg.Experts)
+		for l := 0; l+1 < cfg.Layers; l++ {
+			for from := 0; from < cfg.Experts; from++ {
+				for _, to := range m.Successors(l, from) {
+					mo.covered[(l+1)*cfg.Experts+to] += cfg.Affinity[l][from][to]
+				}
+			}
+		}
+		for i, c := range mo.covered {
+			if mo.mass[i] > 0 && c > 0 {
+				mo.covered[i] = c / mo.mass[i]
+				if mo.covered[i] > 1 {
+					mo.covered[i] = 1
+				}
+			} else {
+				mo.covered[i] = 0
 			}
 		}
 	}
@@ -97,33 +163,55 @@ func (mo *MemoryObjective) Active() bool {
 	return mo != nil && mo.Slots < mo.PerGPU
 }
 
+// checkShape fails fast when a placement's shape does not match the
+// objective's oracles: the packed (l*experts+e) ids would silently collide
+// and read the wrong expert's mass and fetch.
+func (mo *MemoryObjective) checkShape(layers, experts int) {
+	if layers != mo.layers || experts != mo.experts {
+		panic(fmt.Sprintf("placement: memory objective shaped %dx%d priced against a %dx%d placement",
+			mo.layers, mo.experts, layers, experts))
+	}
+}
+
 // StallSeconds evaluates the expected expert-stall of a placement over the
-// profiled demand window: for each GPU, every assigned expert outside the
-// GPU's top-Slots by demand mass pays its full fetch per unit of demand.
-// Zero when the budget is not binding.
+// profiled demand window under the selected residency model. Static: for
+// each GPU, every assigned expert outside the GPU's top-Slots by demand mass
+// pays its full fetch per unit of demand. Che: every assigned expert pays
+// its fetch weighted by its Che miss probability, discounted for prefetch
+// coverage (see che.go). Zero when the budget is not binding.
 func (mo *MemoryObjective) StallSeconds(p *Placement) float64 {
 	if !mo.Active() {
 		return 0
 	}
+	mo.checkShape(p.Layers, p.Experts)
 	items := make([][]int32, p.GPUs)
 	for g := range items {
 		items[g] = make([]int32, 0, mo.PerGPU)
 	}
-	for l := 0; l < p.Layers && l < mo.layers; l++ {
+	for l := 0; l < p.Layers; l++ {
 		for e := 0; e < p.Experts; e++ {
 			g := p.Assign[l][e]
 			items[g] = append(items[g], int32(l*mo.experts+e))
 		}
 	}
 	total := 0.0
+	if mo.Model == ResidencyChe {
+		for g := range items {
+			stall, _ := mo.cheStall(items[g], 0)
+			total += stall
+		}
+		return total
+	}
 	for g := range items {
 		total += mo.gpuStall(items[g])
 	}
 	return total
 }
 
-// StallPerToken is StallSeconds normalized by the profiled token count — the
-// model's predicted expert-stall seconds added to one token's decode.
+// StallPerToken is StallSeconds normalized by the profiled token count (the
+// max per-layer demand mass — robust to oracles whose early layers saw no
+// traffic) — the model's predicted expert-stall seconds added to one token's
+// decode.
 func (mo *MemoryObjective) StallPerToken(p *Placement) float64 {
 	if mo == nil || mo.tokens == 0 {
 		return 0
@@ -188,28 +276,53 @@ func (mo *MemoryObjective) group(gpusPerGroup int) *MemoryObjective {
 // local expert slot s stands for global expert residents[j][s]. Slot budget
 // and per-GPU capacity are unchanged (each node GPU still holds PerGPU
 // experts under Slots slots).
+//
+// The staged solver always passes rectangular resident lists (stage 1 is
+// balanced), but restrict does not assume it: an empty subproblem returns
+// nil (no memory term to price), and ragged rows are padded to the widest
+// layer with zero-mass phantom slots — phantoms sort past every real expert
+// in the warm-set order, contribute zero Che occupancy, and pay zero stall,
+// so real entries price exactly as they would in a rectangular subproblem.
+// Indexing residents[0] directly used to panic on both cases.
 func (mo *MemoryObjective) restrict(residents [][]int) *MemoryObjective {
 	if mo == nil {
 		return nil
 	}
-	perNode := len(residents[0])
+	perNode := 0
+	for _, res := range residents {
+		if len(res) > perNode {
+			perNode = len(res)
+		}
+	}
+	if perNode == 0 { // no real slots (covers an empty residents slice too)
+		return nil
+	}
 	sub := &MemoryObjective{
 		Slots:      mo.Slots,
 		PerGPU:     mo.PerGPU,
 		HopSeconds: mo.HopSeconds,
+		Model:      mo.Model,
 		layers:     len(residents),
 		experts:    perNode,
 		mass:       make([]float64, len(residents)*perNode),
 		fetch:      make([]float64, len(residents)*perNode),
 	}
+	if mo.covered != nil {
+		sub.covered = make([]float64, len(residents)*perNode)
+	}
 	for l, res := range residents {
+		layerMass := 0.0
 		for s, e := range res {
 			src := l*mo.experts + e
 			sub.mass[l*perNode+s] = mo.mass[src]
 			sub.fetch[l*perNode+s] = mo.fetch[src]
-			if l == 0 {
-				sub.tokens += mo.mass[src]
+			if sub.covered != nil {
+				sub.covered[l*perNode+s] = mo.covered[src]
 			}
+			layerMass += mo.mass[src]
+		}
+		if layerMass > sub.tokens {
+			sub.tokens = layerMass
 		}
 	}
 	return sub
@@ -232,6 +345,7 @@ type memState struct {
 }
 
 func newMemState(mo *MemoryObjective, p *Placement) *memState {
+	mo.checkShape(p.Layers, p.Experts)
 	ms := &memState{
 		mo:      mo,
 		items:   make([][]int32, p.GPUs),
@@ -327,6 +441,7 @@ type sortedMemState struct {
 }
 
 func newSortedMemState(mo *MemoryObjective, p *Placement) *sortedMemState {
+	mo.checkShape(p.Layers, p.Experts)
 	ms := &sortedMemState{
 		mo:      mo,
 		order:   make([][]int32, p.GPUs),

@@ -97,6 +97,104 @@ func TestMemoryObjectiveTopSlotsModel(t *testing.T) {
 	}
 }
 
+// TestMemoryObjectiveShapeMismatchPanics: pricing a placement whose shape
+// does not match the objective's oracles used to silently mis-index mass and
+// fetch (packed ids collide); now every entry point fails fast.
+func TestMemoryObjectiveShapeMismatchPanics(t *testing.T) {
+	_, mo := memFixture(t, 5, 16, 4, 2, 3)
+	wrong := Random(5, 8, 4, 3) // 8 experts vs the objective's 16
+	shallow := Random(3, 16, 4, 3)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s accepted a mismatched placement", name)
+			}
+		}()
+		f()
+	}
+	for _, p := range []*Placement{wrong, shallow} {
+		expectPanic("StallSeconds", func() { mo.StallSeconds(p) })
+		expectPanic("newMemState", func() { newMemState(mo, p) })
+		expectPanic("newSortedMemState", func() { newSortedMemState(mo, p) })
+		expectPanic("newCheMemState", func() { newCheMemState(mo, p) })
+	}
+}
+
+// TestStallPerTokenRobustToEmptyLayerZero: the per-token normalizer used to
+// be layer 0's demand mass, so an oracle whose first layer saw no traffic
+// (live windows can produce one) reported zero stall per token even with
+// real downstream stall. The normalizer is now the max per-layer mass.
+func TestStallPerTokenRobustToEmptyLayerZero(t *testing.T) {
+	// 3 layers x 4 experts on 2 GPUs, 1 slot each: aff[0] is all zero (so
+	// layer-0 and layer-1 masses vanish) while aff[1] carries real demand
+	// into layer 2.
+	aff := make([][][]float64, 2)
+	for l := range aff {
+		aff[l] = make([][]float64, 4)
+		for e := range aff[l] {
+			aff[l][e] = make([]float64, 4)
+		}
+	}
+	for e := 0; e < 4; e++ {
+		aff[1][e][e] = float64(e+1) * 10
+	}
+	cfg := expertmem.Config{
+		Layers: 3, Experts: 4, GPUs: 2,
+		ExpertBytes: 1 << 20,
+		SlotsPerGPU: 1,
+		HostLink:    topo.LinkCost{Latency: 1e-3, Bandwidth: 1 << 30},
+		Affinity:    aff,
+	}
+	mo := NewMemoryObjective(cfg, 0)
+	pl := Contiguous(3, 4, 2)
+	if mo.StallSeconds(pl) <= 0 {
+		t.Fatalf("fixture must stall: %v", mo.StallSeconds(pl))
+	}
+	// Layer 2 carries 10+20+30+40 = 100 mass; layers 0 and 1 carry none.
+	if got := mo.StallPerToken(pl); got != mo.StallSeconds(pl)/100 {
+		t.Fatalf("StallPerToken %v, want %v (max per-layer mass normalizer)", got, mo.StallSeconds(pl)/100)
+	}
+}
+
+// TestRestrictEmptyAndRaggedResidents: restrict used to index residents[0]
+// unconditionally and assume uniform row lengths; empty subproblems now
+// price as nil and ragged rows are zero-padded phantoms that price nothing.
+func TestRestrictEmptyAndRaggedResidents(t *testing.T) {
+	_, mo := memFixture(t, 2, 8, 2, 2, 5)
+	if sub := mo.restrict(nil); sub != nil {
+		t.Fatal("restrict(nil) must be nil")
+	}
+	if sub := mo.restrict([][]int{{}, {}}); sub != nil {
+		t.Fatal("restrict of all-empty rows must be nil")
+	}
+	var nilMO *MemoryObjective
+	if nilMO.restrict([][]int{{0}}) != nil {
+		t.Fatal("nil objective restricts to nil")
+	}
+
+	rect := mo.restrict([][]int{{0, 1}, {2, 3}})
+	ragged := mo.restrict([][]int{{0, 1}, {2}})
+	if ragged == nil || ragged.experts != 2 || ragged.layers != 2 {
+		t.Fatalf("ragged restrict shape: %+v", ragged)
+	}
+	// The phantom slot (layer 1, slot 1) carries no mass and no fetch.
+	if ragged.mass[1*2+1] != 0 || ragged.fetch[1*2+1] != 0 {
+		t.Fatal("phantom slot must be massless")
+	}
+	// Real entries price identically to the rectangular projection.
+	for l := 0; l < 2; l++ {
+		for s := 0; s < 2; s++ {
+			if l == 1 && s == 1 {
+				continue
+			}
+			if ragged.mass[l*2+s] != rect.mass[l*2+s] || ragged.fetch[l*2+s] != rect.fetch[l*2+s] {
+				t.Fatalf("real entry (%d,%d) mispriced under ragged restrict", l, s)
+			}
+		}
+	}
+}
+
 func TestMemStateIncrementalMatchesFullEval(t *testing.T) {
 	_, mo := memFixture(t, 5, 16, 4, 2, 11)
 	if !mo.Active() {

@@ -109,7 +109,16 @@ func StagedOpt(counts [][][]float64, layers, experts int, tp *topo.Topology, see
 				}
 			}
 		}
-		perNode := len(residents[0])
+		// Stage 1 is balanced, so every layer holds experts/nodes residents;
+		// size by the widest layer anyway so a hypothetical ragged resident
+		// list degrades into zero-padded columns (matching restrict's
+		// phantom-slot handling) instead of an out-of-range write.
+		perNode := 0
+		for _, res := range residents {
+			if len(res) > perNode {
+				perNode = len(res)
+			}
+		}
 		// Restricted counts between consecutive layers' residents.
 		sub := make([][][]float64, layers-1)
 		for j := 0; j < layers-1; j++ {

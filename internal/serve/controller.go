@@ -213,7 +213,9 @@ func (c *controller) complete(now float64, cur *placement.Placement, ps *pending
 // memObjective builds the memory-aware placement objective over the live
 // window counts, or nil when memory-aware re-placement is off. At
 // oversubscription 1 the objective is built but inactive, keeping the
-// re-solve bit-identical to the crossing-only path.
+// re-solve bit-identical to the crossing-only path. The objective carries
+// Options.ResidencyModel, so both the solve and the migration's
+// PredictedStallDelta price residency with the selected model.
 func (c *controller) memObjective(cur *placement.Placement, counts [][][]float64) *placement.MemoryObjective {
 	if !c.opts.MemoryAware || c.opts.Oversubscription == 0 {
 		return nil
@@ -222,9 +224,15 @@ func (c *controller) memObjective(cur *placement.Placement, counts [][][]float64
 	if err != nil {
 		return nil // Validate already rejected this; belt and braces
 	}
+	model, err := placement.ParseResidencyModel(c.opts.ResidencyModel)
+	if err != nil {
+		return nil // ditto
+	}
 	cfg := expertmem.ConfigFor(c.opts.Topo, cur.Layers, cur.Experts, c.opts.ExpertBytes,
 		c.opts.Oversubscription, pol, c.opts.PrefetchK, c.opts.HostSlots, counts)
-	return placement.NewMemoryObjective(cfg, c.opts.Cost.PerCrossHop)
+	mo := placement.NewMemoryObjective(cfg, c.opts.Cost.PerCrossHop)
+	mo.Model = model
+	return mo
 }
 
 // perTokenCost evaluates the cost model's per-token service time for a

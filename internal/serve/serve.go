@@ -115,6 +115,12 @@ type Options struct {
 	// inactive by construction and re-solves stay bit-identical to the
 	// crossing-only path.
 	MemoryAware bool
+	// ResidencyModel is the residency model memory-aware re-solves price
+	// with ("" or "static": the top-Slots warm set; "che": Che-approximation
+	// fractional occupancy with prefetch-coverage discount). Each
+	// MigrationEvent's PredictedStallDelta is computed with the selected
+	// model. Only meaningful with MemoryAware.
+	ResidencyModel string
 	// LatencyBucket is the report's time-bucket width in seconds for the
 	// P95/throughput series (0 = makespan/80).
 	LatencyBucket float64
@@ -203,6 +209,8 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("serve: CachePolicy %q set but Oversubscription is 0 (memory layer disabled); set Oversubscription >= 1 or drop the policy", o.CachePolicy)
 	case o.Oversubscription == 0 && o.MemoryAware:
 		return fmt.Errorf("serve: MemoryAware requires the tiered memory layer; set Oversubscription >= 1")
+	case o.ResidencyModel != "" && !o.MemoryAware:
+		return fmt.Errorf("serve: ResidencyModel %q set but MemoryAware is off; enable MemoryAware or drop the model", o.ResidencyModel)
 	case o.SolveSeconds < 0:
 		return fmt.Errorf("serve: SolveSeconds must be non-negative, got %v", o.SolveSeconds)
 	case o.SolveWorkers < 0:
@@ -212,6 +220,9 @@ func (o *Options) Validate() error {
 		if _, err := expertmem.ParsePolicy(o.CachePolicy); err != nil {
 			return err
 		}
+	}
+	if _, err := placement.ParseResidencyModel(o.ResidencyModel); err != nil {
+		return err
 	}
 	for _, p := range o.Phases {
 		if err := p.validate(); err != nil {

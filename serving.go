@@ -103,6 +103,13 @@ type ServeOptions struct {
 	// exactly 1 the term is inactive and re-solves stay bit-identical to
 	// the crossing-only path.
 	MemoryAware bool
+	// ResidencyModel selects the residency model memory-aware re-solves
+	// price with: "static" (or empty — the top-Slots warm set) or "che"
+	// (Che-approximation fractional occupancy with prefetch-coverage
+	// discount); each MigrationEvent's PredictedStallDelta is computed with
+	// the selected model. Requires MemoryAware; static keeps re-solves
+	// bit-identical to previous releases.
+	ResidencyModel string
 	// LatencyBucket is the report time-bucket width in seconds (0 = auto).
 	LatencyBucket float64
 	// Calibration, when set, reuses offline artifacts from a previous
@@ -149,11 +156,18 @@ func (o ServeOptions) Validate() error {
 		return fmt.Errorf("exflow: CachePolicy %q set but Oversubscription is 0 (memory layer disabled); set Oversubscription >= 1 or drop the policy", o.CachePolicy)
 	case o.Oversubscription == 0 && o.MemoryAware:
 		return fmt.Errorf("exflow: MemoryAware requires the tiered memory layer; set Oversubscription >= 1")
+	case o.ResidencyModel != "" && !o.MemoryAware:
+		// A residency model without the memory-aware objective prices
+		// nothing; rejected so the caller notices the missing flag.
+		return fmt.Errorf("exflow: ResidencyModel %q set but MemoryAware is off; enable MemoryAware or drop the model", o.ResidencyModel)
 	}
 	if o.Oversubscription > 0 {
 		if _, err := expertmem.ParsePolicy(o.CachePolicy); err != nil {
 			return err
 		}
+	}
+	if _, err := placement.ParseResidencyModel(o.ResidencyModel); err != nil {
+		return err
 	}
 	for i, p := range o.Phases {
 		name := p.Name
@@ -273,6 +287,7 @@ func Serve(sys *System, opts ServeOptions) (*ServeReport, *ServeMetrics, error) 
 		PrefetchK:        opts.PrefetchK,
 		HostSlots:        opts.HostSlots,
 		MemoryAware:      opts.MemoryAware,
+		ResidencyModel:   opts.ResidencyModel,
 		LatencyBucket:    opts.LatencyBucket,
 		Seed:             seed,
 	})
