@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -60,7 +61,7 @@ func main() {
 					os.Exit(1)
 				}
 				path := filepath.Join(*outDir, id+".csv")
-				if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				if err := obs.WriteFileAtomic(path, []byte(res.CSV())); err != nil {
 					fmt.Fprintln(os.Stderr, "exflow-bench:", err)
 					os.Exit(1)
 				}

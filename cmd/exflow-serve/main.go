@@ -37,6 +37,7 @@ import (
 	"repro"
 	"repro/internal/expertmem"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -113,26 +114,32 @@ func toRunJSON(rep *exflow.ServeReport, t0, t1 float64) *runJSON {
 
 func main() {
 	var (
-		model     = flag.String("model", "gptm-32", "model preset: gptm-8/16/32/64, gptm-32l, gptm-40l, gptxl")
-		layers    = flag.Int("layers", 16, "MoE layer count override; the 16-layer default keeps the demo fast — pass 0 to use the model preset's full depth")
-		gpus      = flag.Int("gpus", 16, "expert-parallel group size per replica")
-		replicas  = flag.Int("replicas", 2, "replica count behind the front-end")
-		drift     = flag.Bool("drift", false, "inject a mid-run dataset drift and compare static vs adaptive")
-		oversub   = flag.Bool("oversub", false, "sweep tiered expert-weight memory: cache policies x oversubscription ratios, write BENCH_expertmem.json")
-		memaware  = flag.Bool("memaware", false, "with -oversub: add a memory-aware-placement arm per ratio (expert-stall cost folded into the solver objective) and compare against crossing-only")
-		residency = flag.String("residency", "static", "residency model for memory-aware placement objectives: static | che; with -oversub, 'che' runs per-ratio adaptive drift arms under both models and records each one's predicted-vs-realized stall gap (the steady -memaware arm always solves with static so its cells stay comparable across runs)")
-		hostSlots = flag.Int("hostslots", 0, "with -oversub: bound host-DRAM expert master copies per replica; coldest experts fall to NVMe (0 = all fit in DRAM)")
-		arrival   = flag.String("arrival", "poisson", "arrival process: poisson | bursty | diurnal")
-		load      = flag.Float64("load", 0.97, "offered load as a fraction of the calibrated capacity knee")
-		warm      = flag.Float64("warm", 20, "seconds of in-distribution traffic")
-		duration  = flag.Float64("duration", 40, "seconds of the main (drifted, with -drift) traffic era")
-		decode    = flag.Int("decode", 32, "decode tokens per request")
-		tilt      = flag.Float64("tilt", 8, "domain specialization of the checkpoint (1 = paper-faithful mild tilt)")
-		strength  = flag.Float64("strength", 0.85, "synthetic affinity strength")
-		seed      = flag.Uint64("seed", 7, "deterministic seed")
-		workers   = flag.Int("solveworkers", 1, "placement-solver portfolio width (initial solve and live re-solves); deterministic for any fixed value, 1 = serial")
-		solveLat  = flag.Float64("solvelat", 0, "simulated latency of a background re-solve in seconds; the fleet keeps serving while it runs (overlap, not pause)")
-		jsonPath  = flag.String("json", "BENCH_serve.json", "machine-readable summary path ('-' to skip the file)")
+		model       = flag.String("model", "gptm-32", "model preset: gptm-8/16/32/64, gptm-32l, gptm-40l, gptxl")
+		layers      = flag.Int("layers", 16, "MoE layer count override; the 16-layer default keeps the demo fast — pass 0 to use the model preset's full depth")
+		gpus        = flag.Int("gpus", 16, "expert-parallel group size per replica")
+		replicas    = flag.Int("replicas", 2, "replica count behind the front-end")
+		drift       = flag.Bool("drift", false, "inject a mid-run dataset drift and compare static vs adaptive")
+		oversub     = flag.Bool("oversub", false, "sweep tiered expert-weight memory: cache policies x oversubscription ratios, write BENCH_expertmem.json")
+		memaware    = flag.Bool("memaware", false, "with -oversub: add a memory-aware-placement arm per ratio (expert-stall cost folded into the solver objective) and compare against crossing-only")
+		residency   = flag.String("residency", "static", "residency model for memory-aware placement objectives: static | che; with -oversub, 'che' runs per-ratio adaptive drift arms under both models and records each one's predicted-vs-realized stall gap (the steady -memaware arm always solves with static so its cells stay comparable across runs)")
+		hostSlots   = flag.Int("hostslots", 0, "with -oversub: bound host-DRAM expert master copies per replica; coldest experts fall to NVMe (0 = all fit in DRAM)")
+		memRatio    = flag.Float64("memratio", 0, "serve the steady/-drift program under tiered expert memory at this oversubscription ratio (0 = memory layer off; ignored by -oversub, which sweeps its own ratios) — expert-stall and fetch spans then appear in -traceout")
+		arrival     = flag.String("arrival", "poisson", "arrival process: poisson | bursty | diurnal")
+		load        = flag.Float64("load", 0.97, "offered load as a fraction of the calibrated capacity knee")
+		warm        = flag.Float64("warm", 20, "seconds of in-distribution traffic")
+		duration    = flag.Float64("duration", 40, "seconds of the main (drifted, with -drift) traffic era")
+		decode      = flag.Int("decode", 32, "decode tokens per request")
+		tilt        = flag.Float64("tilt", 8, "domain specialization of the checkpoint (1 = paper-faithful mild tilt)")
+		strength    = flag.Float64("strength", 0.85, "synthetic affinity strength")
+		seed        = flag.Uint64("seed", 7, "deterministic seed")
+		workers     = flag.Int("solveworkers", 1, "placement-solver portfolio width (initial solve and live re-solves); deterministic for any fixed value, 1 = serial")
+		solveLat    = flag.Float64("solvelat", 0, "simulated latency of a background re-solve in seconds; the fleet keeps serving while it runs (overlap, not pause)")
+		autoSolve   = flag.Bool("autosolve", false, "derive the simulated re-solve latency from the solver's measured wall clock (running mean; the calibration solve seeds the prior) — an explicit nonzero -solvelat always wins")
+		jsonPath    = flag.String("json", "BENCH_serve.json", "machine-readable summary path ('-' to skip the file)")
+		traceOut    = flag.String("traceout", "", "write a Chrome/Perfetto trace of the adaptive serving run to this path (chrome://tracing or ui.perfetto.dev)")
+		traceSample = flag.Int("tracesample", 128, "keep 1-in-N of the high-volume trace events (fetch/evict/prefetch/admit); control-plane events are always kept. 0 records everything — under -memratio the ring then wraps and overwrites the oldest events, migrations included")
+		metricsOut  = flag.String("metricsout", "", "write the adaptive run's metrics snapshot (counters/gauges/histograms JSON) to this path")
+		decisionOut = flag.String("decisionlog", "", "write the adaptive run's controller decision log (human-readable) to this path")
 	)
 	flag.Parse()
 
@@ -173,7 +180,7 @@ func main() {
 			gpus: *gpus, replicas: *replicas, decode: *decode, hostSlots: *hostSlots,
 			seed: *seed, dur: *warm + *duration, arrival: *arrival, provision: provision,
 			jsonPath: path, memaware: *memaware, residency: *residency,
-			solveWorkers: *workers, solveLat: *solveLat,
+			solveWorkers: *workers, solveLat: *solveLat, autoSolve: *autoSolve,
 		})
 		return
 	}
@@ -190,13 +197,37 @@ func main() {
 		phases[0].Name = "steady"
 	}
 	base := exflow.ServeOptions{
-		Replicas:      *replicas,
-		DecodeTokens:  *decode,
-		LoadFrac:      *load,
-		Phases:        phases,
-		SolveSeconds:  *solveLat,
-		SolveWorkers:  *workers,
-		LatencyBucket: (*warm + *duration) / 80,
+		Replicas:         *replicas,
+		DecodeTokens:     *decode,
+		LoadFrac:         *load,
+		Phases:           phases,
+		SolveSeconds:     *solveLat,
+		SolveWorkers:     *workers,
+		AutoSolveSeconds: *autoSolve,
+		Oversubscription: *memRatio,
+		HostSlots:        *hostSlots,
+		LatencyBucket:    (*warm + *duration) / 80,
+	}
+
+	// Observability sinks, attached to the adaptive run only: the static arm
+	// of a -drift comparison exists as a baseline, and the adaptive run is
+	// where migrations, solve overlap, and stalls actually happen.
+	var (
+		tracer    *obs.Tracer
+		registry  *obs.Registry
+		decisions *obs.DecisionLog
+	)
+	if *traceOut != "" {
+		// 4x the library's default ring: a -memratio run emits memory traffic
+		// from every GPU and the whole point of the export is seeing the rare
+		// control-plane spans next to it.
+		tracer = obs.NewTracer(obs.TracerOptions{Cap: 1 << 20, Sample: *traceSample})
+	}
+	if *metricsOut != "" {
+		registry = obs.NewRegistry()
+	}
+	if *decisionOut != "" {
+		decisions = obs.NewDecisionLog(0)
 	}
 	// Calibrate once (profiling + ~6 real engine runs) and share it across
 	// the static and adaptive fleets.
@@ -210,6 +241,9 @@ func main() {
 	run := func(adaptive bool) (*exflow.ServeReport, *exflow.ServeMetrics) {
 		o := base
 		o.Adaptive = adaptive
+		if adaptive {
+			o.Trace, o.Metrics, o.Decisions = tracer, registry, decisions
+		}
 		rep, met, err := exflow.Serve(sys, o)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
@@ -265,13 +299,39 @@ func main() {
 		}
 	}
 
+	if tracer != nil {
+		if err := obs.WritePerfetto(tracer, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d events recorded, %d emitted)\n", *traceOut, tracer.Len(), tracer.Emitted())
+	}
+	if registry != nil {
+		blob, err := registry.Snapshot().MarshalIndentJSON()
+		if err == nil {
+			err = obs.WriteFileAtomic(*metricsOut, blob)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+	if decisions != nil {
+		if err := decisions.WriteFile(*decisionOut); err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d decisions)\n", *decisionOut, decisions.Len())
+	}
+
 	if *jsonPath != "-" {
 		blob, err := json.MarshalIndent(sum, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+		if err := obs.WriteFileAtomic(*jsonPath, append(blob, '\n')); err != nil {
 			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
 			os.Exit(1)
 		}
@@ -404,6 +464,7 @@ type oversubConfig struct {
 	residency                         string
 	solveWorkers                      int
 	solveLat                          float64
+	autoSolve                         bool
 }
 
 // residencyArm is one finished residency-model conformance arm.
@@ -459,13 +520,14 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 	fmt.Printf("oversubscription sweep: %s on %d GPUs x%d replicas, %.0fs of %s traffic per run at %.0f%% of each ratio's capacity\n",
 		cfg.String(), gpus, replicas, dur, oc.arrival, oc.provision*100)
 	base := exflow.ServeOptions{
-		Replicas:      replicas,
-		DecodeTokens:  decode,
-		HostSlots:     hostSlots,
-		SolveSeconds:  oc.solveLat,
-		SolveWorkers:  oc.solveWorkers,
-		LatencyBucket: dur / 80,
-		Seed:          seed,
+		Replicas:         replicas,
+		DecodeTokens:     decode,
+		HostSlots:        hostSlots,
+		SolveSeconds:     oc.solveLat,
+		SolveWorkers:     oc.solveWorkers,
+		AutoSolveSeconds: oc.autoSolve,
+		LatencyBucket:    dur / 80,
+		Seed:             seed,
 	}
 	cal, err := exflow.CalibrateServe(sys, base)
 	if err != nil {
@@ -779,7 +841,7 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		if err := obs.WriteFileAtomic(jsonPath, append(blob, '\n')); err != nil {
 			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,43 @@
+// Command exflow-validate checks a JSON document against one of the repo's
+// checked-in JSON schemas (schema/*.schema.json) using the dependency-free
+// validator in internal/obs. CI's export-smoke job runs it over the
+// -traceout / -metricsout files exflow-serve produced, so a drifting export
+// shape fails the build rather than silently breaking downstream tooling.
+//
+//	exflow-validate -schema schema/trace.schema.json run.json
+//	exflow-validate -schema schema/metrics.schema.json metrics.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "path to the JSON schema to validate against")
+	flag.Parse()
+	if *schemaPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: exflow-validate -schema <schema.json> <doc.json>...")
+		os.Exit(2)
+	}
+	schema, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exflow-validate:", err)
+		os.Exit(1)
+	}
+	for _, path := range flag.Args() {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-validate:", err)
+			os.Exit(1)
+		}
+		if err := obs.ValidateJSONSchema(schema, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "exflow-validate: %s does not match %s: %v\n", path, *schemaPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid against %s\n", path, *schemaPath)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/expertmem"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/topo"
@@ -108,6 +109,15 @@ type Config struct {
 	// The memory layer only affects the simulated clock, never the math, so
 	// the identical-outputs invariant across modes is preserved.
 	Memory *expertmem.Config
+	// Trace and Metrics optionally receive the run's observability stream:
+	// per-rank iteration spans and — under tiered expert memory — fetch,
+	// prefetch, and eviction events plus the expertmem_* metric family
+	// (Manager.Instrument). Rank goroutines emit concurrently; the tracer
+	// and registry are race-safe, but cross-rank ring order is
+	// scheduling-dependent — byte-deterministic exports are pinned only on
+	// the single-threaded serve path. Nil disables with zero overhead.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // validate panics on inconsistent configuration (programmer error).
@@ -262,6 +272,7 @@ func Run(cfg Config) *Report {
 	if cfg.Memory != nil {
 		mem = expertmem.New(*cfg.Memory)
 		mem.Warm(cfg.Placement.Assign)
+		mem.Instrument(cfg.Trace, cfg.Metrics, 0)
 	}
 
 	perRank := make([]*rankMetrics, gpus)
@@ -314,8 +325,14 @@ func runRank(rk *cluster.Rank, cfg *Config, reqs []*request, m *rankMetrics, mem
 	}
 	rk.Barrier()
 
+	// Per-rank iteration observability, resolved once: nil handles when no
+	// registry/tracer is attached make every update a no-op.
+	iterSeconds := cfg.Metrics.Histogram("engine_iteration_seconds", obs.SecondsBuckets())
+	iterations := cfg.Metrics.Counter("engine_iterations_total")
+
 	// --- Decode iterations ----------------------------------------------
 	for iter := 0; iter < cfg.GenerateTokens; iter++ {
+		iterStart := rk.Now()
 		// Tokens resident on this rank at the current layer boundary.
 		var resident []*token
 		for r, req := range reqs {
@@ -502,6 +519,14 @@ func runRank(rk *cluster.Rank, cfg *Config, reqs []*request, m *rankMetrics, mem
 				reqs[g.req].output = append(reqs[g.req].output, g.tok)
 			}
 		}
+		// Span the rank's own work this iteration (pre-barrier, so the
+		// duration excludes waiting for slower ranks).
+		if cfg.Trace != nil {
+			cfg.Trace.Emit(obs.Event{Kind: obs.EvIteration, Rep: 0, GPU: int32(rk.ID),
+				Layer: -1, Expert: -1, T: iterStart, Dur: rk.Now() - iterStart, Aux: int64(iter)})
+		}
+		iterations.Inc()
+		iterSeconds.Observe(rk.Now() - iterStart)
 		rk.Barrier()
 	}
 }

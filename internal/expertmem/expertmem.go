@@ -36,6 +36,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -156,6 +157,7 @@ type Entry struct {
 
 // shard is one GPU's residency table plus its host-link fetch channel.
 type shard struct {
+	gpu        int
 	entries    map[key]*Entry
 	used       int // entries occupying slots (resident or in flight)
 	linkFreeAt float64
@@ -242,6 +244,11 @@ type Manager struct {
 	succ       [][][]int // [layer][expert]: top-K layer+1 successors
 	hostTime   float64   // HostLink.Time(ExpertBytes)
 	nvmeTime   float64   // NVMeLink.Time(ExpertBytes)
+
+	// Observability (see Instrument); zero values are the no-op fast path.
+	tr  *obs.Tracer
+	rep int32
+	met memMetrics
 }
 
 // New builds a manager. Call Warm before the first access to model the
@@ -262,7 +269,7 @@ func New(cfg Config) *Manager {
 	}
 	m.shards = make([]*shard, cfg.GPUs)
 	for g := range m.shards {
-		m.shards[g] = &shard{entries: make(map[key]*Entry, cfg.SlotsPerGPU)}
+		m.shards[g] = &shard{gpu: g, entries: make(map[key]*Entry, cfg.SlotsPerGPU)}
 	}
 	m.buildOracles()
 	return m
@@ -439,6 +446,7 @@ func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
 	s.stats.Accesses++
 	if !m.Oversubscribed() {
 		s.stats.Hits++
+		m.met.hits.Inc()
 		return 0
 	}
 	k := key{layer, expert}
@@ -448,20 +456,29 @@ func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
 			if e.readyAt > now {
 				stall = e.readyAt - now
 				s.stats.LateHits++
+				m.met.lateHits.Inc()
 			} else {
 				s.stats.Hits++
+				m.met.hits.Inc()
 			}
 			e.resident = true
 		} else {
 			s.stats.Hits++
+			m.met.hits.Inc()
 		}
 		if e.prefetched {
 			s.stats.PrefetchHits++
+			m.met.prefetchHits.Inc()
+			if m.tr != nil {
+				m.tr.Emit(obs.Event{Kind: obs.EvPrefetchHit, Rep: m.rep, GPU: int32(gpu),
+					Layer: int32(layer), Expert: int32(expert), T: now})
+			}
 			e.prefetched = false
 		}
 		e.uses++
 		e.lastUse = now + stall
 		s.stats.StallSeconds += stall
+		m.met.stallSeconds.Add(stall)
 		return stall
 	}
 	// Miss: fetch over the serialized host link. The entry is installed
@@ -469,9 +486,17 @@ func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
 	// eviction scan cannot drop a transfer that is still on the link; the
 	// next access flips it resident.
 	s.stats.Misses++
+	m.met.misses.Inc()
 	ready := m.issueFetch(s, k, now)
 	stall := ready - now
 	s.stats.StallSeconds += stall
+	m.met.stallSeconds.Add(stall)
+	xfer := m.FetchSeconds(layer, expert)
+	m.met.fetchSeconds.Observe(xfer)
+	if m.tr != nil {
+		m.tr.Emit(obs.Event{Kind: obs.EvFetch, Rep: m.rep, GPU: int32(gpu),
+			Layer: int32(layer), Expert: int32(expert), T: ready - xfer, Dur: xfer, Value: stall})
+	}
 	if m.freeSlot(s, now) {
 		s.entries[k] = &Entry{
 			Layer: layer, Expert: expert,
@@ -480,6 +505,7 @@ func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
 		s.used++
 	} else {
 		s.stats.Bypasses++
+		m.met.bypasses.Inc()
 	}
 	return stall
 }
@@ -497,13 +523,16 @@ func (m *Manager) Prefetch(gpu, layer, expert int, now float64) {
 	}
 	s := m.shards[gpu]
 	if s.linkFreeAt > now {
+		m.dropPrefetch(gpu, layer, expert, now, DropLinkBusy)
 		return
 	}
 	k := key{layer, expert}
 	if s.entries[k] != nil {
+		m.dropPrefetch(gpu, layer, expert, now, DropPresent)
 		return
 	}
 	if !m.freeSlot(s, now) {
+		m.dropPrefetch(gpu, layer, expert, now, DropNoSlot)
 		return
 	}
 	ready := m.issueFetch(s, k, now)
@@ -513,6 +542,20 @@ func (m *Manager) Prefetch(gpu, layer, expert int, now float64) {
 	}
 	s.used++
 	s.stats.Prefetches++
+	m.met.prefetches.Inc()
+	if m.tr != nil {
+		m.tr.Emit(obs.Event{Kind: obs.EvPrefetchIssue, Rep: m.rep, GPU: int32(gpu),
+			Layer: int32(layer), Expert: int32(expert), T: now, Dur: ready - now})
+	}
+}
+
+// dropPrefetch records a declined speculation hint with its reason code.
+func (m *Manager) dropPrefetch(gpu, layer, expert int, now float64, reason int64) {
+	m.met.prefetchDrops.Inc()
+	if m.tr != nil {
+		m.tr.Emit(obs.Event{Kind: obs.EvPrefetchDrop, Rep: m.rep, GPU: int32(gpu),
+			Layer: int32(layer), Expert: int32(expert), T: now, Aux: reason})
+	}
 }
 
 // issueFetch charges one expert transfer to the shard's host-link channel
@@ -525,6 +568,7 @@ func (m *Manager) issueFetch(s *shard, k key, now float64) float64 {
 	ready := start + m.FetchSeconds(k.layer, k.expert)
 	s.linkFreeAt = ready
 	s.stats.BytesFetched += int64(m.cfg.ExpertBytes)
+	m.met.bytesFetched.Add(float64(m.cfg.ExpertBytes))
 	return ready
 }
 
@@ -547,10 +591,16 @@ func (m *Manager) freeSlot(s *shard, now float64) bool {
 	}
 	if victim.prefetched && victim.uses == 0 {
 		s.stats.WastedPrefetches++
+		m.met.wastedPrefetches.Inc()
 	}
 	delete(s.entries, key{victim.Layer, victim.Expert})
 	s.used--
 	s.stats.Evictions++
+	m.met.evictions.Inc()
+	if m.tr != nil {
+		m.tr.Emit(obs.Event{Kind: obs.EvEvict, Rep: m.rep, GPU: int32(s.gpu),
+			Layer: int32(victim.Layer), Expert: int32(victim.Expert), T: now})
+	}
 	return true
 }
 

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDecisionLogRecords(t *testing.T) {
+	dl := NewDecisionLog(16)
+	dl.Logf(0.5, "observe drift=%.3f threshold=%.3f", 0.12, 0.25)
+	dl.Logf(1.0, "solve-launch drift=%.3f", 0.31)
+	if dl.Len() != 2 {
+		t.Fatalf("len=%d, want 2", dl.Len())
+	}
+	lines := dl.Lines()
+	if !strings.HasPrefix(lines[0], "[t=0.500000s] observe drift=0.120") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	out := dl.String()
+	if strings.Contains(out, "truncated") {
+		t.Fatal("unwrapped log should have no truncation header")
+	}
+	if got := strings.Count(out, "\n"); got != 2 {
+		t.Fatalf("rendered %d lines, want 2", got)
+	}
+	if !dl.Enabled() {
+		t.Fatal("non-nil log should be enabled")
+	}
+}
+
+func TestDecisionLogWrapsWithHeader(t *testing.T) {
+	dl := NewDecisionLog(4)
+	for i := 0; i < 10; i++ {
+		dl.Logf(float64(i), "line %d", i)
+	}
+	lines := dl.Lines()
+	if len(lines) != 4 {
+		t.Fatalf("len=%d, want 4", len(lines))
+	}
+	if !strings.HasSuffix(lines[0], "line 6") || !strings.HasSuffix(lines[3], "line 9") {
+		t.Fatalf("wrong window: %v", lines)
+	}
+	if !strings.Contains(dl.String(), "truncated: showing most recent 4 of 10") {
+		t.Fatalf("missing truncation header:\n%s", dl.String())
+	}
+}
+
+func TestDecisionLogExactlyFull(t *testing.T) {
+	dl := NewDecisionLog(3)
+	for i := 0; i < 3; i++ {
+		dl.Logf(float64(i), "line %d", i)
+	}
+	lines := dl.Lines()
+	if len(lines) != 3 || !strings.HasSuffix(lines[0], "line 0") {
+		t.Fatalf("exactly-full window wrong: %v", lines)
+	}
+}
+
+func TestDecisionLogNilSafe(t *testing.T) {
+	var dl *DecisionLog
+	dl.Logf(1, "x")
+	if dl.Enabled() || dl.Len() != 0 || dl.Lines() != nil || dl.String() != "" {
+		t.Fatal("nil decision log not inert")
+	}
+	var buf bytes.Buffer
+	if _, err := dl.WriteTo(&buf); err != nil || buf.Len() != 0 {
+		t.Fatal("nil WriteTo should write nothing")
+	}
+}
+
+func TestDecisionLogWriteFile(t *testing.T) {
+	dl := NewDecisionLog(8)
+	dl.Logf(0.1, "install replica=%d moves=%d", 1, 3)
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	if err := dl.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != dl.String() {
+		t.Fatal("file contents differ from String()")
+	}
+	var buf bytes.Buffer
+	if _, err := dl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != dl.String() {
+		t.Fatal("WriteTo differs from String()")
+	}
+}
+
+func TestWriteFileAtomicErrors(t *testing.T) {
+	if err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Fatal("write into missing directory should fail")
+	}
+	path := filepath.Join(t.TempDir(), "f.json")
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := os.ReadFile(path)
+	if string(blob) != "two" {
+		t.Fatalf("got %q after overwrite", blob)
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTracerRecordsInOrder(t *testing.T) {
+	tr := NewTracer(TracerOptions{Cap: 16})
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: EvSolve, T: float64(i), Rep: -1, GPU: -1})
+	}
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.T != float64(i) {
+			t.Fatalf("event %d at T=%v, want %d", i, e.T, i)
+		}
+	}
+	if tr.Truncated() {
+		t.Fatal("tracer reports truncated without wrapping")
+	}
+	if tr.Emitted() != 5 || tr.Dropped() != 0 || tr.Len() != 5 {
+		t.Fatalf("counters: emitted=%d dropped=%d len=%d", tr.Emitted(), tr.Dropped(), tr.Len())
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(TracerOptions{Cap: 4})
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: EvSolve, T: float64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want cap 4", len(evs))
+	}
+	want := []float64{6, 7, 8, 9}
+	for i, e := range evs {
+		if e.T != want[i] {
+			t.Fatalf("event %d at T=%v, want %v", i, e.T, want[i])
+		}
+	}
+	if !tr.Truncated() {
+		t.Fatal("wrapped ring not reported truncated")
+	}
+}
+
+func TestTracerExactlyFullNoWrap(t *testing.T) {
+	tr := NewTracer(TracerOptions{Cap: 4})
+	for i := 0; i < 4; i++ {
+		tr.Emit(Event{Kind: EvSolve, T: float64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.T != float64(i) {
+			t.Fatalf("event %d at T=%v, want %d", i, e.T, i)
+		}
+	}
+	if tr.Truncated() {
+		t.Fatal("exactly-full ring should not report truncated")
+	}
+}
+
+func TestTracerSamplingThinsHighVolumeOnly(t *testing.T) {
+	tr := NewTracer(TracerOptions{Cap: 1024, Sample: 4})
+	for i := 0; i < 16; i++ {
+		tr.Emit(Event{Kind: EvFetch, T: float64(i)}) // high-volume: thinned
+		tr.Emit(Event{Kind: EvSolve, T: float64(i)}) // control-plane: kept
+	}
+	var fetches, solves int
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case EvFetch:
+			fetches++
+		case EvSolve:
+			solves++
+		}
+	}
+	if fetches != 4 {
+		t.Fatalf("got %d fetches after 1-in-4 sampling of 16, want 4", fetches)
+	}
+	if solves != 16 {
+		t.Fatalf("got %d solves, want all 16 (control-plane never sampled)", solves)
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("dropped=%d, want 12", tr.Dropped())
+	}
+	// Deterministic thinning: every kept fetch is a multiple-of-4 index.
+	for _, e := range tr.Events() {
+		if e.Kind == EvFetch && int(e.T)%4 != 0 {
+			t.Fatalf("kept fetch at T=%v, want multiples of 4", e.T)
+		}
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvFetch})
+	if tr.Enabled() || tr.Len() != 0 || tr.Emitted() != 0 || tr.Dropped() != 0 || tr.Truncated() {
+		t.Fatal("nil tracer not inert")
+	}
+	if tr.Events() != nil {
+		t.Fatal("nil tracer Events() should be nil")
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(TracerOptions{Cap: 1 << 12})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Event{Kind: EvSolve, Rep: int32(g), T: float64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("got %d events, want 800", tr.Len())
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EventKind(0); int(k) < numEventKinds; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind should stringify as unknown")
+	}
+}
+
+// TestNilFastPathAllocs pins the acceptance criterion: with observability
+// off (nil handles), instrumented hot paths allocate nothing.
+func TestNilFastPathAllocs(t *testing.T) {
+	var tr *Tracer
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var dl *DecisionLog
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(Event{Kind: EvFetch, Rep: 1, GPU: 2, Layer: 3, Expert: 4, T: 1, Dur: 2})
+		c.Add(1)
+		c.Inc()
+		g.Set(3)
+		h.Observe(0.5)
+		// No varargs here: interface boxing of arguments happens at the call
+		// site before the nil check can run, so hot paths either pass none or
+		// guard with dl.Enabled(). The decision log is control-plane-rate, so
+		// the non-nil cost is irrelevant; only the nil path is pinned.
+		dl.Logf(1, "skip")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil fast path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilTracerEmit(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: EvFetch, Rep: 1, GPU: 2, Layer: 3, Expert: 4, T: float64(i)})
+	}
+}
+
+func BenchmarkEnabledTracerEmit(b *testing.B) {
+	tr := NewTracer(TracerOptions{Cap: 1 << 12})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Kind: EvFetch, Rep: 1, GPU: 2, Layer: 3, Expert: 4, T: float64(i)})
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Perfetto/Chrome trace_event export. The produced JSON loads directly in
+// ui.perfetto.dev (or chrome://tracing): one process per replica plus one
+// for the controller, one thread per GPU plus a replica-level thread, spans
+// ("X") for durations (iterations, stalls, fetches, solves, pauses),
+// instants ("i") for point events, and counter tracks ("C") for drift score
+// and queue depth.
+//
+// trace_event timestamps are microseconds; simulated seconds are scaled by
+// 1e6. Serialization is deterministic: metadata rows come first in sorted
+// track order, events keep ring (emission) order, and encoding/json sorts
+// arg map keys.
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// perfettoTrack maps an event to its (pid, tid). Replica r is process r; the
+// controller (Rep == -1) is one process past the highest replica. Within a
+// replica process, thread 0 is the replica-level track and GPU g is thread
+// g+1.
+func perfettoTrack(e Event, controllerPID int) (pid, tid int) {
+	if e.Rep < 0 {
+		return controllerPID, 0
+	}
+	pid = int(e.Rep)
+	if e.GPU < 0 {
+		return pid, 0
+	}
+	return pid, int(e.GPU) + 1
+}
+
+// eventArgs builds the args payload shown in the viewer's detail pane. Only
+// meaningful fields are included so instants stay compact.
+func eventArgs(e Event) map[string]any {
+	args := map[string]any{}
+	if e.Layer >= 0 {
+		args["layer"] = int(e.Layer)
+	}
+	if e.Expert >= 0 {
+		args["expert"] = int(e.Expert)
+	}
+	if e.Value != 0 {
+		args["value"] = e.Value
+	}
+	if e.Aux != 0 {
+		args["aux"] = e.Aux
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// PerfettoJSON renders the tracer's events as Chrome trace_event JSON. A nil
+// or empty tracer yields a valid trace with no events.
+func PerfettoJSON(t *Tracer) ([]byte, error) {
+	events := t.Events()
+
+	maxRep := -1
+	for _, e := range events {
+		if int(e.Rep) > maxRep {
+			maxRep = int(e.Rep)
+		}
+	}
+	controllerPID := maxRep + 1
+
+	// Track discovery: name every (pid, tid) pair that carries events so the
+	// viewer shows stable labels instead of bare numbers.
+	type track struct{ pid, tid int }
+	seen := map[track]bool{}
+	for _, e := range events {
+		pid, tid := perfettoTrack(e, controllerPID)
+		seen[track{pid, tid}] = true
+	}
+	tracks := make([]track, 0, len(seen))
+	for tr := range seen {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+
+	out := traceFile{
+		TraceEvents:     make([]traceEvent, 0, len(tracks)*2+len(events)),
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"clock":     "simulated",
+			"emitted":   t.Emitted(),
+			"sampled":   t.Dropped(),
+			"truncated": t.Truncated(),
+		},
+	}
+
+	namedPID := map[int]bool{}
+	for _, tr := range tracks {
+		if !namedPID[tr.pid] {
+			namedPID[tr.pid] = true
+			pname := "replica " + strconv.Itoa(tr.pid)
+			if tr.pid == controllerPID {
+				pname = "controller"
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "process_name", Ph: "M", Pid: tr.pid, Tid: tr.tid,
+				Args: map[string]any{"name": pname},
+			})
+		}
+		tname := "replica"
+		switch {
+		case tr.pid == controllerPID:
+			tname = "controller"
+		case tr.tid > 0:
+			tname = "gpu " + strconv.Itoa(tr.tid-1)
+		}
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: tr.pid, Tid: tr.tid,
+			Args: map[string]any{"name": tname},
+		})
+	}
+
+	for _, e := range events {
+		pid, tid := perfettoTrack(e, controllerPID)
+		te := traceEvent{
+			Name: e.Kind.String(),
+			Ts:   e.T * 1e6,
+			Pid:  pid,
+			Tid:  tid,
+			Args: eventArgs(e),
+		}
+		switch {
+		case e.Kind == EvDrift || e.Kind == EvQueueDepth:
+			te.Ph = "C"
+			te.Args = map[string]any{"value": e.Value}
+		case e.Dur > 0:
+			te.Ph = "X"
+			d := e.Dur * 1e6
+			te.Dur = &d
+		default:
+			te.Ph = "i"
+			te.S = "t"
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+
+	return json.Marshal(out)
+}
+
+// WritePerfettoTo streams the trace JSON to w.
+func WritePerfettoTo(t *Tracer, w io.Writer) error {
+	blob, err := PerfettoJSON(t)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// WritePerfetto writes the trace JSON to path atomically.
+func WritePerfetto(t *Tracer, path string) error {
+	blob, err := PerfettoJSON(t)
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, blob)
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func exportFixture() *Tracer {
+	tr := NewTracer(TracerOptions{Cap: 64})
+	tr.Emit(Event{Kind: EvIteration, Rep: 0, GPU: -1, Layer: -1, Expert: -1, T: 0.1, Dur: 0.02, Aux: 8})
+	tr.Emit(Event{Kind: EvExpertStall, Rep: 0, GPU: 2, Layer: 5, Expert: 17, T: 0.11, Dur: 0.003, Value: 0.003})
+	tr.Emit(Event{Kind: EvFetch, Rep: 1, GPU: 0, Layer: 3, Expert: 4, T: 0.12, Dur: 0.001})
+	tr.Emit(Event{Kind: EvDrift, Rep: -1, GPU: -1, Layer: -1, Expert: -1, T: 0.2, Value: 0.31})
+	tr.Emit(Event{Kind: EvSolve, Rep: -1, GPU: -1, Layer: -1, Expert: -1, T: 0.2, Dur: 0.5})
+	tr.Emit(Event{Kind: EvInstall, Rep: 1, GPU: -1, Layer: -1, Expert: -1, T: 0.7, Aux: 3})
+	tr.Emit(Event{Kind: EvPause, Rep: 1, GPU: -1, Layer: -1, Expert: -1, T: 0.7, Dur: 0.05})
+	tr.Emit(Event{Kind: EvQueueDepth, Rep: -1, GPU: -1, Layer: -1, Expert: -1, T: 0.2, Value: 12})
+	return tr
+}
+
+func TestPerfettoJSONStructure(t *testing.T) {
+	blob, err := PerfettoJSON(exportFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit=%q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData["clock"] != "simulated" {
+		t.Fatal("otherData.clock missing")
+	}
+
+	byPhase := map[string]int{}
+	procNames := map[int]string{}
+	var sawPause, sawSolveSpan, sawStallSpan bool
+	for _, e := range doc.TraceEvents {
+		byPhase[e.Ph]++
+		if e.Ph == "M" && e.Name == "process_name" {
+			procNames[e.Pid], _ = e.Args["name"].(string)
+		}
+		switch e.Name {
+		case "migration-pause":
+			if e.Ph == "X" && e.Dur > 0 {
+				sawPause = true
+			}
+		case "solve":
+			if e.Ph == "X" && e.Dur == 0.5*1e6 {
+				sawSolveSpan = true
+			}
+		case "expert-stall":
+			// GPU 2 of replica 0 → pid 0, tid 3; layer/expert in args.
+			if e.Ph == "X" && e.Pid == 0 && e.Tid == 3 &&
+				e.Args["layer"] == float64(5) && e.Args["expert"] == float64(17) {
+				sawStallSpan = true
+			}
+		}
+	}
+	if !sawPause || !sawSolveSpan || !sawStallSpan {
+		t.Fatalf("missing spans: pause=%v solve=%v stall=%v", sawPause, sawSolveSpan, sawStallSpan)
+	}
+	if byPhase["C"] != 2 {
+		t.Fatalf("got %d counter events, want 2 (drift + queue depth)", byPhase["C"])
+	}
+	if byPhase["i"] == 0 {
+		t.Fatal("no instant events (install should be one)")
+	}
+	// maxRep is 1, so the controller process is pid 2.
+	if procNames[2] != "controller" {
+		t.Fatalf("controller pid not named: %v", procNames)
+	}
+	if procNames[0] != "replica 0" || procNames[1] != "replica 1" {
+		t.Fatalf("replica process names wrong: %v", procNames)
+	}
+}
+
+func TestPerfettoJSONDeterministic(t *testing.T) {
+	a, err := PerfettoJSON(exportFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PerfettoJSON(exportFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical tracers exported different bytes")
+	}
+}
+
+func TestPerfettoNilAndEmptyTracer(t *testing.T) {
+	for _, tr := range []*Tracer{nil, NewTracer(TracerOptions{Cap: 4})} {
+		blob, err := PerfettoJSON(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			t.Fatalf("empty export invalid: %v", err)
+		}
+		if _, ok := doc["traceEvents"]; !ok {
+			t.Fatal("empty export missing traceEvents")
+		}
+	}
+}
+
+func TestWritePerfettoAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	if err := WritePerfetto(exportFixture(), path); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := PerfettoJSON(exportFixture())
+	if !bytes.Equal(blob, want) {
+		t.Fatal("written file differs from in-memory export")
+	}
+	// Overwrite must succeed and leave no temp litter.
+	if err := WritePerfetto(exportFixture(), path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	var buf bytes.Buffer
+	if err := WritePerfettoTo(exportFixture(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("WritePerfettoTo differs from PerfettoJSON")
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total")
+	c.Add(2)
+	c.Inc()
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter=%v, want 3", got)
+	}
+	if r.Counter("reqs_total") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("drift")
+	if g.Value() != 0 {
+		t.Fatal("unset gauge should read 0")
+	}
+	g.Set(0.25)
+	g.Set(0.5)
+	if g.Value() != 0.5 {
+		t.Fatalf("gauge=%v, want last write 0.5", g.Value())
+	}
+
+	h := r.Histogram("lat", []float64{0.1, 1, 10})
+	wantSum := 0.0
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+		wantSum += v
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count=%d, want 5", h.Count())
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum=%v, want %v", h.Sum(), wantSum)
+	}
+	if h.Mean() != wantSum/5 {
+		t.Fatalf("mean=%v", h.Mean())
+	}
+	// Bucket semantics: upper bounds are inclusive, last slot is overflow.
+	snap := r.Snapshot().Histograms["lat"]
+	wantCounts := []uint64{2, 1, 1, 1}
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Mean() != h.Mean() {
+		t.Fatal("snapshot mean disagrees with live mean")
+	}
+	if (HistSnapshot{}).Mean() != 0 {
+		t.Fatal("empty snapshot mean should be 0")
+	}
+	if r.Histogram("lat", nil) != h {
+		t.Fatal("second histogram lookup returned a different handle")
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry should hand out nil handles")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	if r.Now() != 0 {
+		t.Fatal("nil registry Now should be 0")
+	}
+	r.SetNow(func() float64 { return 1 })
+
+	var c *Counter
+	c.Add(1)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter not inert")
+	}
+	var g *Gauge
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge not inert")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("nil histogram not inert")
+	}
+}
+
+func TestRegistryNowHook(t *testing.T) {
+	r := NewRegistry()
+	real1 := r.Now()
+	if real1 <= 0 {
+		t.Fatalf("real Now()=%v, want positive epoch seconds", real1)
+	}
+	fake := 0.0
+	r.SetNow(func() float64 { fake += 0.5; return fake })
+	if a, b := r.Now(), r.Now(); a != 0.5 || b != 1.0 {
+		t.Fatalf("fake clock gave %v, %v", a, b)
+	}
+	r.SetNow(nil)
+	if r.Now() < real1 {
+		t.Fatal("restoring real clock went backwards")
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("x").Add(-1)
+}
+
+func TestHistogramBadBucketsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending buckets did not panic")
+		}
+	}()
+	NewRegistry().Histogram("x", []float64{1, 1})
+}
+
+func TestSnapshotIsFrozenAndDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	r.Gauge("b").Set(2)
+	r.Histogram("c", []float64{1}).Observe(0.5)
+	s1 := r.Snapshot()
+	r.Counter("a").Add(10) // must not affect the frozen snapshot
+	if s1.Counters["a"] != 1 {
+		t.Fatalf("snapshot mutated: a=%v", s1.Counters["a"])
+	}
+	blob1, err := s1.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := s1.MarshalIndentJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob1, blob2) {
+		t.Fatal("snapshot JSON not deterministic across marshals")
+	}
+	if blob1[len(blob1)-1] != '\n' {
+		t.Fatal("snapshot JSON missing trailing newline")
+	}
+}
+
+// TestRegistryConcurrentUpdates exercises the shared-handle paths the solver
+// portfolio workers hit; run under -race this is the registry's race pin.
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			h := r.Histogram("shared_seconds", SecondsBuckets())
+			g := r.Gauge("shared_gauge")
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-4)
+				g.Set(float64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot() // snapshot mid-run while writers are live
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 4000 {
+		t.Fatalf("counter=%v, want 4000", got)
+	}
+	if got := r.Histogram("shared_seconds", nil).Count(); got != 4000 {
+		t.Fatalf("histogram count=%v, want 4000", got)
+	}
+}
+
+func TestSecondsBucketsAscending(t *testing.T) {
+	b := SecondsBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bucket %d (%v) not above %v", i, b[i], b[i-1])
+		}
+	}
+}

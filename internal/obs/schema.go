@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Minimal JSON-Schema-subset validator — just enough to gate the exported
+// trace and metrics artifacts in CI without pulling in a dependency. The
+// supported keywords are: "type" (string or list), "properties", "required",
+// "items", "enum" (scalars), "additionalProperties" (schema form only; the
+// boolean false form is unsupported), and "minItems". Unknown keywords are
+// ignored, matching JSON Schema's open-world stance.
+
+// ValidateJSONSchema checks doc against schema (both raw JSON). It returns
+// nil when the document conforms and a path-annotated error on the first
+// violation.
+func ValidateJSONSchema(schema, doc []byte) error {
+	var s, d any
+	if err := json.Unmarshal(schema, &s); err != nil {
+		return fmt.Errorf("schema parse: %w", err)
+	}
+	if err := json.Unmarshal(doc, &d); err != nil {
+		return fmt.Errorf("document parse: %w", err)
+	}
+	return validate(s, d, "$")
+}
+
+func validate(schema, doc any, path string) error {
+	sm, ok := schema.(map[string]any)
+	if !ok {
+		return fmt.Errorf("%s: schema node is not an object", path)
+	}
+
+	if tv, ok := sm["type"]; ok {
+		if err := checkType(tv, doc, path); err != nil {
+			return err
+		}
+	}
+
+	if ev, ok := sm["enum"]; ok {
+		if err := checkEnum(ev, doc, path); err != nil {
+			return err
+		}
+	}
+
+	if obj, ok := doc.(map[string]any); ok {
+		if rv, ok := sm["required"].([]any); ok {
+			for _, r := range rv {
+				name, _ := r.(string)
+				if _, present := obj[name]; !present {
+					return fmt.Errorf("%s: missing required property %q", path, name)
+				}
+			}
+		}
+		props, _ := sm["properties"].(map[string]any)
+		for name, sub := range props {
+			if v, present := obj[name]; present {
+				if err := validate(sub, v, path+"."+name); err != nil {
+					return err
+				}
+			}
+		}
+		if ap, ok := sm["additionalProperties"].(map[string]any); ok {
+			for name, v := range obj {
+				if _, declared := props[name]; declared {
+					continue
+				}
+				if err := validate(ap, v, path+"."+name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if arr, ok := doc.([]any); ok {
+		if mi, ok := sm["minItems"].(float64); ok && float64(len(arr)) < mi {
+			return fmt.Errorf("%s: %d items, need at least %g", path, len(arr), mi)
+		}
+		if items, ok := sm["items"]; ok {
+			for i, v := range arr {
+				if err := validate(items, v, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	return nil
+}
+
+func checkType(tv, doc any, path string) error {
+	switch t := tv.(type) {
+	case string:
+		if !typeMatches(t, doc) {
+			return fmt.Errorf("%s: want type %s, got %s", path, t, jsonTypeOf(doc))
+		}
+	case []any:
+		for _, one := range t {
+			if s, ok := one.(string); ok && typeMatches(s, doc) {
+				return nil
+			}
+		}
+		return fmt.Errorf("%s: type %s matches none of %v", path, jsonTypeOf(doc), t)
+	}
+	return nil
+}
+
+func typeMatches(t string, doc any) bool {
+	switch t {
+	case "object":
+		_, ok := doc.(map[string]any)
+		return ok
+	case "array":
+		_, ok := doc.([]any)
+		return ok
+	case "string":
+		_, ok := doc.(string)
+		return ok
+	case "number":
+		_, ok := doc.(float64)
+		return ok
+	case "integer":
+		f, ok := doc.(float64)
+		return ok && f == math.Trunc(f)
+	case "boolean":
+		_, ok := doc.(bool)
+		return ok
+	case "null":
+		return doc == nil
+	}
+	return false
+}
+
+func jsonTypeOf(doc any) string {
+	switch doc.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "boolean"
+	case nil:
+		return "null"
+	}
+	return "unknown"
+}
+
+func checkEnum(ev, doc any, path string) error {
+	vals, ok := ev.([]any)
+	if !ok {
+		return nil
+	}
+	for _, v := range vals {
+		if v == doc {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: value %v not in enum %v", path, doc, vals)
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -40,6 +41,11 @@ type AnnealOptions struct {
 	// counts (see NewTransIndex); nil builds one per replica run. Portfolio
 	// solves build it once and share it across replicas.
 	Index *TransIndex
+	// Obs optionally receives the annealer's proposal and acceptance
+	// counters (solver_swaps_proposed_total, solver_swaps_accepted_total).
+	// Portfolio replicas update the shared counters concurrently; the
+	// registry is race-safe and the metrics never affect the solve.
+	Obs *obs.Registry
 }
 
 // Anneal refines a placement by intra-layer expert swaps under a
@@ -130,6 +136,11 @@ func annealRun(counts [][][]float64, init *Placement, opts AnnealOptions, seed u
 	}
 	p := init.Clone()
 	cur := p.Crossings(counts)
+	var proposed, accepted uint64
+	defer func() {
+		opts.Obs.Counter("solver_swaps_proposed_total").Add(float64(proposed))
+		opts.Obs.Counter("solver_swaps_accepted_total").Add(float64(accepted))
+	}()
 	memActive := opts.Memory.Active()
 	var ms memPricer
 	var invHop float64
@@ -182,6 +193,7 @@ func annealRun(counts [][][]float64, init *Placement, opts AnnealOptions, seed u
 			temp *= cool
 			continue
 		}
+		proposed++
 		delta := layerDelta(j, a, b)
 		ga, gb := p.Assign[j][a], p.Assign[j][b]
 		var memGa, memGb float64
@@ -190,6 +202,7 @@ func annealRun(counts [][][]float64, init *Placement, opts AnnealOptions, seed u
 			delta += (memGa + memGb - ms.gpuCost(ga) - ms.gpuCost(gb)) * invHop
 		}
 		if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
+			accepted++
 			p.Assign[j][a], p.Assign[j][b] = p.Assign[j][b], p.Assign[j][a]
 			if memActive {
 				ms.apply(j, a, b, ga, gb, memGa, memGb)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -17,6 +18,9 @@ type SolveOptions struct {
 	// Workers is the annealing portfolio width (see AnnealOptions.Workers);
 	// zero or one is the single-replica solve, bit-identical to Solve.
 	Workers int
+	// Obs optionally receives solver metrics (proposal/acceptance counters,
+	// stage wall times). Nil costs nothing; metrics never affect the solve.
+	Obs *obs.Registry
 }
 
 // Solve runs the production single-level pipeline: LayerSweep coordinate
@@ -38,7 +42,7 @@ func SolveMem(counts [][][]float64, layers, experts, gpus int, seed uint64, mem 
 // (beyond Seed) reproduce Solve bit-identically.
 func SolveOpt(counts [][][]float64, layers, experts, gpus int, opts SolveOptions) *Placement {
 	p := LayerSweep(counts, layers, experts, gpus, LayerSweepOptions{})
-	return Anneal(counts, p, AnnealOptions{Seed: opts.Seed, Memory: opts.Memory, Workers: opts.Workers})
+	return Anneal(counts, p, AnnealOptions{Seed: opts.Seed, Memory: opts.Memory, Workers: opts.Workers, Obs: opts.Obs})
 }
 
 // StagedOptions tunes the two-stage hierarchical solve.
@@ -53,6 +57,11 @@ type StagedOptions struct {
 	// per-node subproblems run concurrently. Any fixed value is
 	// deterministic; zero or one reproduces the serial solve bit-identically.
 	Workers int
+	// Obs optionally receives solver metrics: per-stage wall-time histograms
+	// (solver_stage_node_seconds, solver_stage_gpu_seconds) and the annealer's
+	// proposal/acceptance counters. Nil costs nothing; metrics never affect
+	// the solve.
+	Obs *obs.Registry
 }
 
 // Staged implements the paper's two-stage hierarchical optimization
@@ -74,15 +83,19 @@ func StagedOpt(counts [][][]float64, layers, experts int, tp *topo.Topology, see
 	gpus := tp.TotalGPUs()
 	checkShape(experts, gpus)
 	if tp.Nodes == 1 {
-		return SolveOpt(counts, layers, experts, gpus, SolveOptions{Seed: seed, Memory: opts.Memory, Workers: opts.Workers})
+		return SolveOpt(counts, layers, experts, gpus, SolveOptions{Seed: seed, Memory: opts.Memory, Workers: opts.Workers, Obs: opts.Obs})
 	}
 	if experts%tp.Nodes != 0 {
 		panic(fmt.Sprintf("placement: experts %d not divisible by nodes %d", experts, tp.Nodes))
 	}
 
 	// Stage 1: place experts onto nodes, each node pooling its GPUs' HBM.
+	reg := opts.Obs
+	nodeStart := reg.Now()
 	nodePl := SolveOpt(counts, layers, experts, tp.Nodes,
-		SolveOptions{Seed: seed, Memory: opts.Memory.group(tp.GPUsPerNode), Workers: opts.Workers})
+		SolveOptions{Seed: seed, Memory: opts.Memory.group(tp.GPUsPerNode), Workers: opts.Workers, Obs: opts.Obs})
+	reg.Histogram("solver_stage_node_seconds", obs.SecondsBuckets()).Observe(reg.Now() - nodeStart)
+	gpuStageSeconds := reg.Histogram("solver_stage_gpu_seconds", obs.SecondsBuckets())
 
 	// Stage 2: within each node, place its residents onto the node's GPUs.
 	// Each node's subproblem only sees transition weight between experts
@@ -94,6 +107,8 @@ func StagedOpt(counts [][][]float64, layers, experts int, tp *topo.Topology, see
 	final := NewPlacement(layers, experts, gpus)
 	perGPU := experts / gpus
 	solveNode := func(node int) {
+		nodeT0 := reg.Now()
+		defer func() { gpuStageSeconds.Observe(reg.Now() - nodeT0) }()
 		// residents[j] = experts of layer j on this node (in index order).
 		residents := make([][]int, layers)
 		index := make([][]int, layers) // expert -> local slot, or -1
@@ -137,7 +152,7 @@ func StagedOpt(counts [][][]float64, layers, experts int, tp *topo.Topology, see
 			subMem = opts.Memory.restrict(residents)
 		}
 		subPl := SolveOpt(sub, layers, perNode, tp.GPUsPerNode,
-			SolveOptions{Seed: seed + uint64(node) + 1, Memory: subMem, Workers: opts.Workers})
+			SolveOptions{Seed: seed + uint64(node) + 1, Memory: subMem, Workers: opts.Workers, Obs: opts.Obs})
 		for j := 0; j < layers; j++ {
 			for slot, e := range residents[j] {
 				final.Assign[j][e] = tp.Rank(node, subPl.Assign[j][slot])

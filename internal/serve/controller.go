@@ -2,6 +2,7 @@ package serve
 
 import (
 	"repro/internal/expertmem"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/topo"
 )
@@ -78,6 +79,10 @@ type pendingSolve struct {
 	counts [][][]float64
 	// mo is the memory objective priced into the solve (nil when off).
 	mo *placement.MemoryObjective
+	// wall is the host wall-clock seconds the solve actually took, measured
+	// by the solver goroutine via Metrics.Now (0 when no registry). Written
+	// before the result send, read after the receive.
+	wall float64
 	// result delivers the solved placement; the channel is buffered so the
 	// solver goroutine never blocks on a consumer.
 	result chan *placement.Placement
@@ -101,6 +106,13 @@ type controller struct {
 	// move set would invalidate: count and refetch seconds.
 	churn func([]placement.Move) (int, float64)
 
+	// met caches the controller's metric handles (zero value when metrics
+	// are off). wallSum/wallCount accumulate measured solve walls for the
+	// AutoSolveSeconds running-mean estimate.
+	met       serveMetrics
+	wallSum   float64
+	wallCount int
+
 	cooldownUntil float64
 	solves        int
 	discards      int
@@ -111,7 +123,17 @@ func newController(opts *Options, window *TraceWindow, baseline [][]float64) *co
 		opts:   opts,
 		window: window,
 		det:    NewDetector(opts.Metric, opts.DriftThreshold, opts.Patience, baseline),
+		met:    newServeMetrics(opts.Metrics),
 	}
+}
+
+// solveEstimate is the AutoSolveSeconds latency estimate: the running mean
+// of measured solve walls, or SolveSecondsPrior before any solve completed.
+func (c *controller) solveEstimate() float64 {
+	if c.wallCount > 0 {
+		return c.wallSum / float64(c.wallCount)
+	}
+	return c.opts.SolveSecondsPrior
 }
 
 // observe scores the live window and, when the detector fires under the
@@ -123,14 +145,29 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 	// score and (below) the staleness snapshot — Observe does not retain it.
 	pooled := c.window.Pooled()
 	score, fired := c.det.Observe(pooled)
-	if !c.opts.Adaptive || busy || !fired {
+	dl := c.opts.Decisions
+	if !c.opts.Adaptive {
 		return score, nil
 	}
-	if c.window.Fill() < c.opts.MinFill || now < c.cooldownUntil {
+	switch {
+	case busy:
+		dl.Logf(now, "skip-busy drift=%.4f (solve or migration in flight)", score)
+		return score, nil
+	case !fired:
+		dl.Logf(now, "observe drift=%.4f threshold=%.4f fired=false", score, c.opts.DriftThreshold)
+		return score, nil
+	}
+	if fill := c.window.Fill(); fill < c.opts.MinFill {
+		dl.Logf(now, "skip-fill drift=%.4f fill=%.2f<%.2f", score, fill, c.opts.MinFill)
+		return score, nil
+	}
+	if now < c.cooldownUntil {
+		dl.Logf(now, "skip-cooldown drift=%.4f cooldown-until=%.3fs", score, c.cooldownUntil)
 		return score, nil
 	}
 	counts := c.window.Snapshot()
 	c.solves++
+	c.met.solves.Inc()
 	// Under memory-aware re-placement the solver prices expected expert
 	// stall alongside crossings, with the live window as the demand oracle —
 	// the once-optimal hot-set split decays with routing drift exactly like
@@ -147,9 +184,18 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 	seed := c.opts.Seed + uint64(c.solves)*0x51ED
 	layers, experts := cur.Layers, cur.Experts
 	tp, workers := c.opts.Topo, c.opts.SolveWorkers
+	reg := c.opts.Metrics
+	if tr := c.opts.Trace; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvSolveStart, Rep: -1, GPU: -1, Layer: -1, Expert: -1, T: now, Value: score})
+	}
+	dl.Logf(now, "solve-launch drift=%.4f window-fill=%.2f workers=%d memory-aware=%v",
+		score, c.window.Fill(), workers, mo.Active())
 	go func() {
-		ps.result <- placement.StagedOpt(counts, layers, experts, tp, seed,
-			placement.StagedOptions{Memory: mo, Workers: workers})
+		t0 := reg.Now()
+		pl := placement.StagedOpt(counts, layers, experts, tp, seed,
+			placement.StagedOptions{Memory: mo, Workers: workers, Obs: reg})
+		ps.wall = reg.Now() - t0
+		ps.result <- pl
 	}()
 	return score, ps
 }
@@ -160,12 +206,23 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 // (stale) or rejected (below MinGain).
 func (c *controller) complete(now float64, cur *placement.Placement, ps *pendingSolve) *pendingMigration {
 	fresh := <-ps.result
+	c.wallSum += ps.wall
+	c.wallCount++
+	c.met.solverWall.Observe(ps.wall)
+	dl := c.opts.Decisions
+	tr := c.opts.Trace
 	// Staleness guard: if routing drifted past the detector threshold again
 	// while the solve ran, the solution optimizes a distribution that no
 	// longer exists. Discard it — the detector streak is still hot, so the
 	// next drift check launches a new solve on the fresher window.
-	if Divergence(c.opts.Metric, ps.pooled, c.window.Pooled()) > c.opts.DriftThreshold {
+	if div := Divergence(c.opts.Metric, ps.pooled, c.window.Pooled()); div > c.opts.DriftThreshold {
 		c.discards++
+		c.met.discards.Inc()
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.EvSolveDiscard, Rep: -1, GPU: -1, Layer: -1, Expert: -1, T: now, Value: div})
+		}
+		dl.Logf(now, "solve-discard staleness=%.4f>threshold=%.4f (window moved while solving; overlap=%.3fs)",
+			div, c.opts.DriftThreshold, now-ps.started)
 		return nil
 	}
 	canon := placement.CanonicalizeTopo(cur, fresh, c.opts.Topo.GPUsPerNode)
@@ -175,13 +232,21 @@ func (c *controller) complete(now float64, cur *placement.Placement, ps *pending
 	// predicted stall per token on top of the hop cost.
 	gain := 0.0
 	staleStall, freshStall := ps.mo.StallPerToken(cur), ps.mo.StallPerToken(canon)
-	if stale := c.perTokenCost(ps.counts, cur) + staleStall; stale > 0 {
-		gain = 1 - (c.perTokenCost(ps.counts, canon)+freshStall)/stale
+	staleCost := c.perTokenCost(ps.counts, cur) + staleStall
+	freshCost := c.perTokenCost(ps.counts, canon) + freshStall
+	if staleCost > 0 {
+		gain = 1 - freshCost/staleCost
 	}
 	if gain < c.opts.MinGain {
 		// Not worth the parameter traffic; back off before re-solving again.
 		c.cooldownUntil = now + c.opts.Cooldown
 		c.det.Rebase(c.det.baseline) // clear the hot streak, keep the baseline
+		c.met.rejects.Inc()
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.EvSolveReject, Rep: -1, GPU: -1, Layer: -1, Expert: -1, T: now, Value: gain})
+		}
+		dl.Logf(now, "solve-reject gain=%.4f<mingain=%.4f (stale=%.6fs/token fresh=%.6fs/token) cooldown-until=%.3fs",
+			gain, c.opts.MinGain, staleCost, freshCost, c.cooldownUntil)
 		return nil
 	}
 	// Price exactly the placement being installed (PriceMigration would
@@ -207,6 +272,16 @@ func (c *controller) complete(now float64, cur *placement.Placement, ps *pending
 		ev.ResidencyChurn, ev.ChurnSeconds = c.churn(plan.Moves)
 		ev.Seconds += ev.ChurnSeconds
 	}
+	if tr != nil {
+		// The solve span covers the whole overlap window (launch to accept) on
+		// the controller track; Value carries the predicted gain, Aux the move
+		// count of the plan being installed.
+		tr.Emit(obs.Event{Kind: obs.EvSolve, Rep: -1, GPU: -1, Layer: -1, Expert: -1,
+			T: ps.started, Dur: now - ps.started, Value: gain, Aux: int64(ev.Moves)})
+	}
+	c.met.predStallDelta.Set(ev.PredictedStallDelta)
+	dl.Logf(now, "solve-accept gain=%.4f>=mingain=%.4f moves=%d cross-node=%d pause/replica=%.3fms pred-stall-delta=%.6fs/token churn=%d",
+		gain, c.opts.MinGain, ev.Moves, ev.CrossNodeMoves, ev.Seconds*1e3, ev.PredictedStallDelta, ev.ResidencyChurn)
 	return &pendingMigration{newPl: canon, event: ev}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/expertmem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -70,6 +71,11 @@ type Report struct {
 	// Saturated reports whether the fleet-wide queue was still growing at
 	// the end of the run (offered load above capacity).
 	Saturated bool
+	// Metrics is the end-of-run snapshot of Options.Metrics (nil when no
+	// registry was attached). Its mem_stall_seconds counter equals
+	// MemStallSeconds exactly: both accumulate the same float additions in
+	// the same order.
+	Metrics *obs.Snapshot
 
 	// arrivals/latencies (sorted by arrival) back WindowStats.
 	arrivalTimes []float64
@@ -220,6 +226,9 @@ func (s *server) buildReport() *Report {
 		early := stats.Max(s.queueY[:n/2])
 		late := stats.Max(s.queueY[n/2:])
 		rep.Saturated = late > 4*early+8
+	}
+	if s.opts.Metrics != nil {
+		rep.Metrics = s.opts.Metrics.Snapshot()
 	}
 	return rep
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/expertmem"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/synth"
@@ -126,6 +127,31 @@ type Options struct {
 	LatencyBucket float64
 	// Seed makes the whole run deterministic.
 	Seed uint64
+
+	// Trace optionally records typed events on the simulated clock (request
+	// admits/finishes, iterations, expert stalls, fetch/prefetch traffic,
+	// solves, migrations, drift scores); export with obs.WritePerfetto.
+	// Metrics optionally receives the run's counters, gauges, and histograms
+	// (mem_stall_seconds, expertmem_fetch_seconds, solver_wall_seconds, ...),
+	// snapshotable mid-run and surfaced as Report.Metrics. Decisions
+	// optionally records the controller's human-readable decision log. All
+	// three nil by default: the instrumented paths then cost nothing
+	// measurable (the obs nil fast path).
+	Trace     *obs.Tracer
+	Metrics   *obs.Registry
+	Decisions *obs.DecisionLog
+	// AutoSolveSeconds derives the simulated re-solve latency from measured
+	// solver wall clock instead of the SolveSeconds guess: the first solve
+	// uses SolveSecondsPrior and each completed solve's wall time (as
+	// measured by Metrics.Now around the actual StagedOpt call) refines a
+	// running mean used for subsequent solves. An explicit SolveSeconds > 0
+	// always overrides auto-calibration. Note the simulated timeline then
+	// depends on host solver speed — leave this off for byte-reproducible
+	// benchmark runs.
+	AutoSolveSeconds bool
+	// SolveSecondsPrior seeds the auto-calibrated estimate before any solve
+	// has been measured (e.g. CalibrateServe's measured initial-solve wall).
+	SolveSecondsPrior float64
 }
 
 // DefaultReplicas and DefaultWindow are the fleet-size and trace-window
@@ -213,6 +239,10 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("serve: ResidencyModel %q set but MemoryAware is off; enable MemoryAware or drop the model", o.ResidencyModel)
 	case o.SolveSeconds < 0:
 		return fmt.Errorf("serve: SolveSeconds must be non-negative, got %v", o.SolveSeconds)
+	case o.SolveSecondsPrior < 0:
+		return fmt.Errorf("serve: SolveSecondsPrior must be non-negative, got %v", o.SolveSecondsPrior)
+	case o.SolveSecondsPrior > 0 && !o.AutoSolveSeconds:
+		return fmt.Errorf("serve: SolveSecondsPrior set but AutoSolveSeconds is off; enable it or drop the prior")
 	case o.SolveWorkers < 0:
 		return fmt.Errorf("serve: SolveWorkers must be non-negative (zero for the default 1), got %d", o.SolveWorkers)
 	}
@@ -311,6 +341,10 @@ type server struct {
 	mems  []*expertmem.Manager
 	paths [][]int
 
+	// tr/met are the observability hooks (nil / zero when off).
+	tr  *obs.Tracer
+	met serveMetrics
+
 	events    eventHeap
 	arrivals  []*request
 	pending   *pendingMigration
@@ -365,6 +399,8 @@ func Run(opts Options) (*Report, error) {
 	s := &server{
 		opts:   opts,
 		window: NewTraceWindow(layers, opts.Placement.Experts, opts.Window),
+		tr:     opts.Trace,
+		met:    newServeMetrics(opts.Metrics),
 	}
 	s.ctrl = newController(&s.opts, s.window, poolCounts(opts.BaselineCounts, opts.Placement.Experts))
 	for _, p := range opts.Phases {
@@ -383,6 +419,7 @@ func Run(opts Options) (*Report, error) {
 		for r := 0; r < opts.Replicas; r++ {
 			mem := expertmem.New(mcfg)
 			mem.Warm(opts.Placement.Assign)
+			mem.Instrument(opts.Trace, opts.Metrics, r)
 			s.mems = append(s.mems, mem)
 		}
 		// The controller must price residency churn, not just parameter
@@ -449,6 +486,10 @@ func (s *server) onArrival(now float64, rq *request) {
 	}
 	rq.replica = best.id
 	best.queue = append(best.queue, rq)
+	s.met.requests.Inc()
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{Kind: obs.EvAdmit, Rep: int32(best.id), GPU: -1, Layer: -1, Expert: -1, T: now})
+	}
 	if !best.running && !best.stalled {
 		s.start(now, best)
 	}
@@ -463,6 +504,11 @@ func (s *server) onIterEnd(now float64, r *replica) {
 		rq.remaining--
 		if rq.remaining == 0 {
 			rq.finish = now
+			s.met.finished.Inc()
+			if s.tr != nil {
+				s.tr.Emit(obs.Event{Kind: obs.EvFinish, Rep: int32(r.id), GPU: -1, Layer: -1, Expert: -1,
+					T: now, Value: now - rq.arrival})
+			}
 		} else {
 			kept = append(kept, rq)
 		}
@@ -492,10 +538,17 @@ func (s *server) onStallEnd(now float64, r *replica) {
 		}
 	}
 	r.pl = s.pending.newPl.Clone()
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{Kind: obs.EvInstall, Rep: int32(r.id), GPU: -1, Layer: -1, Expert: -1,
+			T: now, Aux: int64(s.pending.event.Moves)})
+	}
 	s.pending.next++
 	if s.pending.next >= len(s.replicas) {
 		s.pending.event.Completed = now
 		s.migrations = append(s.migrations, *s.pending.event)
+		s.met.migrations.Inc()
+		s.opts.Decisions.Logf(now, "migration-complete started=%.3fs pause/replica=%.3fms moves=%d",
+			s.pending.event.Time, s.pending.event.Seconds*1e3, s.pending.event.Moves)
 		s.pending = nil
 		s.ctrl.finish(now)
 	} else if nxt := s.replicas[s.pending.next]; !nxt.running && !nxt.stalled {
@@ -507,6 +560,11 @@ func (s *server) onStallEnd(now float64, r *replica) {
 // beginStall pauses a replica for the migration's parameter-copy time.
 func (s *server) beginStall(now float64, r *replica) {
 	r.stalled = true
+	s.met.pauseSeconds.Observe(s.pending.event.Seconds)
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{Kind: obs.EvPause, Rep: int32(r.id), GPU: -1, Layer: -1, Expert: -1,
+			T: now, Dur: s.pending.event.Seconds})
+	}
 	s.seq++
 	heap.Push(&s.events, event{t: now + s.pending.event.Seconds, kind: evStallEnd, rep: r.id, seq: s.seq})
 }
@@ -530,12 +588,29 @@ func (s *server) maybeCheckDrift(now float64) {
 	}
 	s.queueT = append(s.queueT, now)
 	s.queueY = append(s.queueY, float64(depth))
+	s.met.drift.Set(score)
+	s.met.queueDepth.Set(float64(depth))
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{Kind: obs.EvDrift, Rep: -1, GPU: -1, Layer: -1, Expert: -1, T: now, Value: score})
+		s.tr.Emit(obs.Event{Kind: obs.EvQueueDepth, Rep: -1, GPU: -1, Layer: -1, Expert: -1, T: now, Value: float64(depth)})
+	}
 	if solve == nil {
 		return
 	}
 	s.solving = solve
 	s.seq++
-	heap.Push(&s.events, event{t: now + s.opts.SolveSeconds, kind: evSolveEnd, seq: s.seq})
+	heap.Push(&s.events, event{t: now + s.solveLatency(), kind: evSolveEnd, seq: s.seq})
+}
+
+// solveLatency is the simulated seconds one background re-solve charges to
+// the clock: the explicit SolveSeconds when set, otherwise — under
+// AutoSolveSeconds — the controller's running mean of measured solve walls,
+// seeded by SolveSecondsPrior before the first completed solve.
+func (s *server) solveLatency() float64 {
+	if s.opts.SolveSeconds > 0 || !s.opts.AutoSolveSeconds {
+		return s.opts.SolveSeconds
+	}
+	return s.ctrl.solveEstimate()
 }
 
 // onSolveEnd collects the background re-solve. The wall-clock join with the
@@ -610,13 +685,23 @@ func (s *server) start(now float64, r *replica) {
 	if s.mems != nil {
 		st := s.memoryStalls(r, len(r.active), now, dt)
 		dt += st
+		// The metric mirrors the report field addition-for-addition so the
+		// exported mem_stall_seconds equals Report.MemStallSeconds exactly.
 		s.memStall += st
+		s.met.memStall.Add(st)
 		s.memSamples = append(s.memSamples, memSample{t: now, stall: st, tokens: len(r.active)})
 	}
 	s.fracT = append(s.fracT, now)
 	s.fracY = append(s.fracY, float64(cross)/total)
 	s.iterations++
 	s.batchTotal += len(r.active)
+	s.met.iterations.Inc()
+	s.met.tokens.Add(float64(len(r.active)))
+	s.met.iterSeconds.Observe(dt)
+	if s.tr != nil {
+		s.tr.Emit(obs.Event{Kind: obs.EvIteration, Rep: int32(r.id), GPU: -1, Layer: -1, Expert: -1,
+			T: now, Dur: dt, Aux: int64(len(r.active))})
+	}
 	r.running = true
 	s.seq++
 	heap.Push(&s.events, event{t: now + dt, kind: evIterEnd, rep: r.id, seq: s.seq})
@@ -626,5 +711,5 @@ func (s *server) start(now float64, r *replica) {
 // replica's tiered expert-weight memory (see LayerStallTimeline) and
 // returns the total stall added to the iteration.
 func (s *server) memoryStalls(r *replica, batch int, now, computeDur float64) float64 {
-	return LayerStallTimeline(s.mems[r.id], r.pl, s.paths, batch, now, computeDur)
+	return LayerStallTimelineTraced(s.mems[r.id], r.pl, s.paths, batch, now, computeDur, s.tr, r.id)
 }

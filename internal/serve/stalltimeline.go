@@ -2,6 +2,7 @@ package serve
 
 import (
 	"repro/internal/expertmem"
+	"repro/internal/obs"
 	"repro/internal/placement"
 )
 
@@ -35,6 +36,14 @@ import (
 // conformance suite (TestStallModelConformance in the root package), which
 // replays identical routing through both.
 func LayerStallTimeline(mem *expertmem.Manager, pl *placement.Placement, paths [][]int, batch int, now, computeDur float64) float64 {
+	return LayerStallTimelineTraced(mem, pl, paths, batch, now, computeDur, nil, 0)
+}
+
+// LayerStallTimelineTraced is LayerStallTimeline with span emission: each
+// (GPU, layer) demand stall greater than zero becomes an EvExpertStall span
+// on the GPU's track, starting at the layer's post-compute instant for that
+// GPU. A nil tracer is the zero-overhead path (bit-identical stalls).
+func LayerStallTimelineTraced(mem *expertmem.Manager, pl *placement.Placement, paths [][]int, batch int, now, computeDur float64, tr *obs.Tracer, rep int) float64 {
 	if !mem.Oversubscribed() {
 		return 0
 	}
@@ -75,6 +84,14 @@ func LayerStallTimeline(mem *expertmem.Manager, pl *placement.Placement, paths [
 				for _, sc := range mem.Successors(j, paths[i][j]) {
 					owner := pl.GPUOf(j+1, sc)
 					mem.Prefetch(owner, j+1, sc, t+gpuStall[owner])
+				}
+			}
+		}
+		if tr != nil {
+			for g, st := range gpuStall {
+				if st > 0 {
+					tr.Emit(obs.Event{Kind: obs.EvExpertStall, Rep: int32(rep), GPU: int32(g),
+						Layer: int32(j), Expert: -1, T: t, Dur: st, Value: st})
 				}
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/expertmem"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -110,6 +111,31 @@ type ServeOptions struct {
 	// the selected model. Requires MemoryAware; static keeps re-solves
 	// bit-identical to previous releases.
 	ResidencyModel string
+	// Trace, when non-nil, records typed simulator events (admissions,
+	// iteration spans, per-layer expert stalls, prefetch traffic, solver
+	// lifecycle, migration pauses) into a bounded ring; export it with
+	// obs.WritePerfetto for a Chrome/Perfetto-loadable timeline. Nil
+	// disables tracing with zero overhead.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, collects counters, gauges, and histograms from
+	// every layer of the run (serve_*, controller_*, expertmem_*, solver_*);
+	// the end-of-run snapshot is returned in ServeReport.Metrics. Nil
+	// disables collection with zero overhead.
+	Metrics *obs.Registry
+	// Decisions, when non-nil, records a human-readable log line for every
+	// controller decision (observe, skip, solve launch, discard, reject,
+	// accept, migration completion) with the inputs that drove it.
+	Decisions *obs.DecisionLog
+	// AutoSolveSeconds derives the simulated background-solve latency from
+	// the solver's measured host wall clock (running mean of completed
+	// solves) instead of the fixed SolveSeconds. An explicit SolveSeconds > 0
+	// always wins. The first solve uses SolveSecondsPrior; when that is zero
+	// too, Serve seeds it with the calibration's measured initial-placement
+	// solve wall (ServeCalibration.SolveWallSeconds).
+	AutoSolveSeconds bool
+	// SolveSecondsPrior seeds the AutoSolveSeconds estimate before any
+	// background solve has completed. Requires AutoSolveSeconds.
+	SolveSecondsPrior float64
 	// LatencyBucket is the report time-bucket width in seconds (0 = auto).
 	LatencyBucket float64
 	// Calibration, when set, reuses offline artifacts from a previous
@@ -143,8 +169,12 @@ func (o ServeOptions) Validate() error {
 		return fmt.Errorf("exflow: CalibIters must be positive (zero for the default), got %d", o.CalibIters)
 	case o.CheckInterval < 0 || o.DriftThreshold < 0 || o.Patience < 0 || o.Cooldown < 0 ||
 		o.MinGain < 0 || o.LatencyBucket < 0 || o.PrefetchK < 0 ||
-		o.SolveSeconds < 0 || o.SolveWorkers < 0:
+		o.SolveSeconds < 0 || o.SolveWorkers < 0 || o.SolveSecondsPrior < 0:
 		return fmt.Errorf("exflow: detector/controller tunables must be non-negative")
+	case o.SolveSecondsPrior > 0 && !o.AutoSolveSeconds:
+		// A prior without the estimator does nothing; rejected so the caller
+		// notices the missing flag.
+		return fmt.Errorf("exflow: SolveSecondsPrior set but AutoSolveSeconds is off; enable AutoSolveSeconds or drop the prior")
 	case o.Oversubscription < 0 || (o.Oversubscription > 0 && o.Oversubscription < 1):
 		return fmt.Errorf("exflow: Oversubscription must be 0 (off) or >= 1, got %v", o.Oversubscription)
 	case o.HostSlots < 0:
@@ -261,35 +291,47 @@ func Serve(sys *System, opts ServeOptions) (*ServeReport, *ServeMetrics, error) 
 		}
 	}
 
+	prior := opts.SolveSecondsPrior
+	if opts.AutoSolveSeconds && prior == 0 {
+		// Seed the estimator with the measured initial-placement solve wall:
+		// the closest available analogue of a background re-solve.
+		prior = cal.SolveWallSeconds
+	}
+
 	rep, err := serve.Run(serve.Options{
-		Topo:             sys.Topo,
-		Kernel:           sys.Kernel,
-		TopK:             sys.Model.Cfg.TopK,
-		Placement:        cal.Placement,
-		BaselineCounts:   cal.Trace.AllTransitionCounts(),
-		Cost:             met.Cost,
-		ExpertBytes:      int(sys.Model.Cfg.ExpertParams()) * 2, // fp16
-		Replicas:         opts.Replicas,
-		MaxBatch:         opts.MaxBatch,
-		DecodeTokens:     opts.DecodeTokens,
-		Phases:           sphases,
-		Adaptive:         opts.Adaptive,
-		Window:           opts.Window,
-		CheckInterval:    opts.CheckInterval,
-		DriftThreshold:   cal.DriftThreshold,
-		Patience:         opts.Patience,
-		Cooldown:         opts.Cooldown,
-		MinGain:          opts.MinGain,
-		SolveSeconds:     opts.SolveSeconds,
-		SolveWorkers:     opts.SolveWorkers,
-		Oversubscription: opts.Oversubscription,
-		CachePolicy:      opts.CachePolicy,
-		PrefetchK:        opts.PrefetchK,
-		HostSlots:        opts.HostSlots,
-		MemoryAware:      opts.MemoryAware,
-		ResidencyModel:   opts.ResidencyModel,
-		LatencyBucket:    opts.LatencyBucket,
-		Seed:             seed,
+		Topo:              sys.Topo,
+		Kernel:            sys.Kernel,
+		TopK:              sys.Model.Cfg.TopK,
+		Placement:         cal.Placement,
+		BaselineCounts:    cal.Trace.AllTransitionCounts(),
+		Cost:              met.Cost,
+		ExpertBytes:       int(sys.Model.Cfg.ExpertParams()) * 2, // fp16
+		Replicas:          opts.Replicas,
+		MaxBatch:          opts.MaxBatch,
+		DecodeTokens:      opts.DecodeTokens,
+		Phases:            sphases,
+		Adaptive:          opts.Adaptive,
+		Window:            opts.Window,
+		CheckInterval:     opts.CheckInterval,
+		DriftThreshold:    cal.DriftThreshold,
+		Patience:          opts.Patience,
+		Cooldown:          opts.Cooldown,
+		MinGain:           opts.MinGain,
+		SolveSeconds:      opts.SolveSeconds,
+		SolveWorkers:      opts.SolveWorkers,
+		Oversubscription:  opts.Oversubscription,
+		CachePolicy:       opts.CachePolicy,
+		PrefetchK:         opts.PrefetchK,
+		HostSlots:         opts.HostSlots,
+		MemoryAware:       opts.MemoryAware,
+		ResidencyModel:    opts.ResidencyModel,
+		LatencyBucket:     opts.LatencyBucket,
+		Seed:              seed,
+		Trace:             opts.Trace,
+		Metrics:           opts.Metrics,
+		Decisions:         opts.Decisions,
+		AutoSolveSeconds:  opts.AutoSolveSeconds,
+		SolveSecondsPrior: prior,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -309,6 +351,10 @@ type ServeCalibration struct {
 	Placement      *placement.Placement
 	Metrics        ServeMetrics
 	DriftThreshold float64
+	// SolveWallSeconds is the measured host wall clock of the initial
+	// placement solve — the prior ServeOptions.AutoSolveSeconds seeds its
+	// latency estimate with before any background re-solve has completed.
+	SolveWallSeconds float64
 }
 
 // CalibrateServe profiles the system, solves the initial placement, fits
@@ -320,7 +366,15 @@ func CalibrateServe(sys *System, opts ServeOptions) (*ServeCalibration, error) {
 	}
 	opts = opts.withDefaults(sys)
 	tr := sys.Profile(opts.ProfileTokens)
+	// Time the initial solve on whichever clock the caller's registry uses
+	// (tests pin it via SetNow; no registry reads the real wall clock).
+	clock := opts.Metrics
+	if clock == nil {
+		clock = obs.NewRegistry()
+	}
+	t0 := clock.Now()
 	pl := sys.SolvePlacement(tr)
+	solveWall := clock.Now() - t0
 
 	threshold := opts.DriftThreshold
 	if threshold == 0 {
@@ -334,7 +388,7 @@ func CalibrateServe(sys *System, opts ServeOptions) (*ServeCalibration, error) {
 	met := ServeMetrics{Cost: cost, FracNode: fracNode, FracCross: fracCross}
 	met.TokenCapacity = float64(opts.MaxBatch) / cost.Time(opts.MaxBatch, fracNode, fracCross)
 	met.RequestCapacity = met.TokenCapacity * float64(opts.Replicas) / float64(opts.DecodeTokens)
-	return &ServeCalibration{Trace: tr, Placement: pl, Metrics: met, DriftThreshold: threshold}, nil
+	return &ServeCalibration{Trace: tr, Placement: pl, Metrics: met, DriftThreshold: threshold, SolveWallSeconds: solveWall}, nil
 }
 
 // withDefaults resolves the option defaults Serve and CalibrateServe share.

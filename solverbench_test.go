@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/expertmem"
 	"repro/internal/moe"
+	"repro/internal/obs"
 	"repro/internal/placement"
 )
 
@@ -238,7 +239,7 @@ func TestGenerateSolverBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_solver.json", append(blob, '\n'), 0o644); err != nil {
+	if err := obs.WriteFileAtomic("BENCH_solver.json", append(blob, '\n')); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("memory-aware anneal: dense %.1fms sparse %.1fms -> %.2fx (bit-identical %v)",
