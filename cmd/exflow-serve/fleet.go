@@ -1,0 +1,306 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"repro"
+	"repro/internal/moe"
+	"repro/internal/obs"
+)
+
+// fleetConfig carries the fleet benchmark's knobs from the flag set.
+type fleetConfig struct {
+	gpus, replicas, decode int
+	seed                   uint64
+	warm, duration         float64
+	arrival                string
+	solveWorkers           int
+	jsonPath               string
+}
+
+// fleetArmJSON is one serving run of the fleet benchmark.
+type fleetArmJSON struct {
+	Name string `json:"name"`
+	// Spike / Recover stats are over the requests arriving in that phase;
+	// Overall spans the run.
+	SpikeP95   float64 `json:"spike_p95_s"`
+	SpikeP99   float64 `json:"spike_p99_s"`
+	RecoverP95 float64 `json:"recover_p95_s"`
+	OverallP95 float64 `json:"overall_p95_s"`
+	Makespan   float64 `json:"makespan_s"`
+	Requests   int     `json:"requests"`
+	// Fleet accounting (zero for the fleet-nil baseline).
+	Arrivals    int `json:"arrivals"`
+	Shed        int `json:"shed"`
+	Deferred    int `json:"deferred"`
+	ScaleUps    int `json:"scale_ups"`
+	ScaleDowns  int `json:"scale_downs"`
+	MaxLive     int `json:"max_live"`
+	FinalLive   int `json:"final_live"`
+	NVMeFetches int `json:"nvme_fetches"`
+	DRAMHits    int `json:"dram_hits"`
+	// QueueBound is the matched MaxQueuePerReplica (queue-admission arm only).
+	QueueBound int `json:"queue_bound,omitempty"`
+}
+
+// fleetSummaryJSON is the BENCH_fleet.json shape (schema/fleet.schema.json).
+type fleetSummaryJSON struct {
+	Model            string  `json:"model"`
+	Layers           int     `json:"layers"`
+	GPUs             int     `json:"gpus"`
+	Replicas         int     `json:"replicas"`
+	MaxReplicas      int     `json:"max_replicas"`
+	Seed             uint64  `json:"seed"`
+	Oversubscription float64 `json:"oversubscription"`
+	HostSlots        int     `json:"host_slots"`
+	SLOSeconds       float64 `json:"slo_s"`
+	WarmRPS          float64 `json:"warm_req_per_sec"`
+	SpikeRPS         float64 `json:"spike_req_per_sec"`
+	WarmSeconds      float64 `json:"warm_s"`
+	SpikeSeconds     float64 `json:"spike_s"`
+	RecoverSeconds   float64 `json:"recover_s"`
+
+	Arms []fleetArmJSON `json:"arms"`
+
+	Acceptance struct {
+		// FleetDisabledBitIdentical: an all-zero FleetSpec (admit everything,
+		// never scale, no shared cache) reproduces the fleet-nil run exactly.
+		FleetDisabledBitIdentical bool `json:"fleet_disabled_bit_identical"`
+		// SharedCacheReducesNVMe: the shared node-level master tier strictly
+		// reduces fleet-wide NVMe fetches vs per-replica static splits.
+		SharedCacheReducesNVMe bool `json:"shared_cache_reduces_nvme_fetches"`
+		NVMeIndependent        int  `json:"nvme_fetches_independent"`
+		NVMeShared             int  `json:"nvme_fetches_shared"`
+		// PagingBeatsQueueP99: at a queue bound matched to shed the same
+		// number of requests, paging-aware admission yields a lower
+		// flash-crowd P99 than the queue-depth baseline.
+		PagingBeatsQueueP99 bool    `json:"paging_beats_queue_p99_at_equal_shed"`
+		PagingShed          int     `json:"paging_shed"`
+		QueueShed           int     `json:"queue_shed"`
+		PagingSpikeP99      float64 `json:"paging_spike_p99_s"`
+		QueueSpikeP99       float64 `json:"queue_spike_p99_s"`
+		// AutoscalerRecoversP95: scaling up within MaxReplicas beats the
+		// fixed fleet's flash-crowd P95. AutoscalerScalesBackDown: the fleet
+		// returns toward MinReplicas once the crowd passes.
+		AutoscalerRecoversP95    bool `json:"autoscaler_recovers_p95"`
+		AutoscalerScalesBackDown bool `json:"autoscaler_scales_back_down"`
+	} `json:"acceptance"`
+}
+
+// toFleetArm summarizes one run.
+func toFleetArm(name string, rep *exflow.ServeReport, warm, spike float64) fleetArmJSON {
+	a := fleetArmJSON{
+		Name:       name,
+		SpikeP95:   rep.WindowStats(warm, warm+spike).P95,
+		SpikeP99:   rep.WindowStats(warm, warm+spike).P99,
+		RecoverP95: rep.WindowStats(warm+spike, rep.Makespan+1).P95,
+		OverallP95: rep.Overall.P95,
+		Makespan:   rep.Makespan,
+		Requests:   rep.Requests,
+	}
+	if rep.ExpertMem != nil {
+		a.NVMeFetches = rep.ExpertMem.NVMeFetches
+	}
+	if fl := rep.Fleet; fl != nil {
+		a.Arrivals, a.Shed, a.Deferred = fl.Arrivals, fl.Shed, fl.Deferred
+		a.ScaleUps, a.ScaleDowns = fl.ScaleUps, fl.ScaleDowns
+		a.MaxLive, a.FinalLive = fl.MaxLive, fl.FinalLive
+		if fl.HostCache != nil {
+			a.DRAMHits = fl.HostCache.DRAMHits
+		}
+	}
+	return a
+}
+
+// runFleetBench drives the fleet tier through a flash crowd: a warm era at
+// comfortable load, a 2.5x spike on a shifted token mixture, and a recovery
+// era — once per fleet configuration over the identical arrival stream. The
+// arms establish the tier's three claims (shared host cache cuts NVMe
+// traffic, paging-aware admission beats queue depth at equal shed, the
+// autoscaler recovers the spike and stands back down) plus the inert-spec
+// bit-identity guarantee.
+func runFleetBench(sys *exflow.System, cfg moe.Config, fc fleetConfig) {
+	const ratio = 2.0
+	spikeDur, recoverDur := fc.duration/2, fc.duration/2
+	hostSlots := cfg.Layers * cfg.Experts / 4
+	fmt.Printf("fleet benchmark: %s on %d GPUs x%d replicas, %.0fs warm + %.0fs flash crowd + %.0fs recovery at %.1fx oversubscription\n",
+		cfg.String(), fc.gpus, fc.replicas, fc.warm, spikeDur, recoverDur, ratio)
+
+	base := exflow.ServeOptions{
+		Replicas:     fc.replicas,
+		DecodeTokens: fc.decode,
+		SolveWorkers: fc.solveWorkers,
+		Seed:         fc.seed,
+	}
+	cal, err := exflow.CalibrateServe(sys, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+		os.Exit(1)
+	}
+	base.Calibration = cal
+	probeBase := base
+	probeBase.HostSlots = hostSlots
+	capTok, err := exflow.ProbeMemoryCapacity(sys, probeBase, ratio, fc.warm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+		os.Exit(1)
+	}
+	warmRate := 0.6 * capTok / float64(fc.decode)
+	spikeRate := 2.5 * warmRate
+	phases := []exflow.ServePhase{
+		{Name: "warm", Duration: fc.warm, Rate: warmRate, Arrival: fc.arrival},
+		{Name: "spike", Duration: spikeDur, Rate: spikeRate, Arrival: fc.arrival, Dataset: exflow.ViralDataset()},
+		{Name: "recover", Duration: recoverDur, Rate: warmRate, Arrival: fc.arrival},
+	}
+
+	run := func(spec *exflow.FleetSpec, slo float64) *exflow.ServeReport {
+		o := base
+		o.Oversubscription = ratio
+		o.HostSlots = hostSlots
+		o.Phases = phases
+		o.Fleet = spec
+		if spec != nil && spec.Admission == exflow.FleetAdmissionPaging {
+			spec.SLOSeconds = slo
+		}
+		rep, _, err := exflow.Serve(sys, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		return rep
+	}
+
+	// Reconciliation cadences scale with the traffic program so the bench
+	// behaves at smoke scale too.
+	recon := math.Max(0.25, fc.warm/16)
+	autoSpec := func() *exflow.FleetSpec {
+		return &exflow.FleetSpec{
+			MinReplicas:       fc.replicas,
+			MaxReplicas:       3 * fc.replicas,
+			ReconcileInterval: recon,
+			ScaleUpCooldown:   2 * recon,
+			ScaleDownCooldown: 4 * recon,
+			DownscaleStreak:   2,
+			ForecastHalfLife:  math.Max(1, fc.warm/8),
+		}
+	}
+
+	// The fleet-nil baseline first: its warm-era P95 sets the paging SLO.
+	nilRun := run(nil, 0)
+	warmP95 := nilRun.Phases[0].P95
+	slo := 1.5 * warmP95
+	fmt.Printf("warm P95 %.4fs -> admission SLO %.4fs (%.1f req/s warm, %.1f req/s spike)\n",
+		warmP95, slo, warmRate, spikeRate)
+
+	// Independent arms share the arrival stream (same seed, same phases) and
+	// only read shared state, so they fan out; results land in named slots.
+	var (
+		wg                  sync.WaitGroup
+		inertRun, sharedRun *exflow.ServeReport
+		pagingRun, autoRun  *exflow.ServeReport
+	)
+	launch := func(dst **exflow.ServeReport, spec *exflow.FleetSpec) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			*dst = run(spec, slo)
+		}()
+	}
+	launch(&inertRun, &exflow.FleetSpec{})
+	launch(&sharedRun, &exflow.FleetSpec{SharedHostCache: true})
+	launch(&pagingRun, &exflow.FleetSpec{Admission: exflow.FleetAdmissionPaging})
+	launch(&autoRun, autoSpec())
+	wg.Wait()
+
+	// Queue-depth baseline at matched shed volume: integer bisection on the
+	// per-replica queue bound (shedding falls as the bound rises).
+	target := pagingRun.Fleet.Shed
+	lo, hi := 1, 512
+	bestK, bestDiff := 0, math.MaxInt32
+	var queueRun *exflow.ServeReport
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		rep := run(&exflow.FleetSpec{Admission: exflow.FleetAdmissionQueue, MaxQueuePerReplica: mid}, 0)
+		diff := rep.Fleet.Shed - target
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			queueRun, bestK, bestDiff = rep, mid, diff
+		}
+		switch {
+		case rep.Fleet.Shed > target:
+			lo = mid + 1
+		case rep.Fleet.Shed < target:
+			hi = mid - 1
+		default:
+			lo = hi + 1 // exact match
+		}
+	}
+
+	sum := fleetSummaryJSON{
+		Model: cfg.Name, Layers: cfg.Layers, GPUs: fc.gpus,
+		Replicas: fc.replicas, MaxReplicas: 3 * fc.replicas, Seed: fc.seed,
+		Oversubscription: ratio, HostSlots: hostSlots, SLOSeconds: slo,
+		WarmRPS: warmRate, SpikeRPS: spikeRate,
+		WarmSeconds: fc.warm, SpikeSeconds: spikeDur, RecoverSeconds: recoverDur,
+	}
+	queueArm := toFleetArm("queue-admission", queueRun, fc.warm, spikeDur)
+	queueArm.QueueBound = bestK
+	sum.Arms = []fleetArmJSON{
+		toFleetArm("fleet-nil", nilRun, fc.warm, spikeDur),
+		toFleetArm("inert-spec", inertRun, fc.warm, spikeDur),
+		toFleetArm("shared-cache", sharedRun, fc.warm, spikeDur),
+		toFleetArm("paging-admission", pagingRun, fc.warm, spikeDur),
+		queueArm,
+		toFleetArm("autoscaler", autoRun, fc.warm, spikeDur),
+	}
+
+	a := &sum.Acceptance
+	a.FleetDisabledBitIdentical = inertRun.Overall.P95 == nilRun.Overall.P95 &&
+		inertRun.Makespan == nilRun.Makespan && inertRun.Requests == nilRun.Requests
+	a.NVMeIndependent = nilRun.ExpertMem.NVMeFetches
+	a.NVMeShared = sharedRun.ExpertMem.NVMeFetches
+	a.SharedCacheReducesNVMe = a.NVMeShared < a.NVMeIndependent
+	a.PagingShed, a.QueueShed = pagingRun.Fleet.Shed, queueRun.Fleet.Shed
+	a.PagingSpikeP99 = pagingRun.WindowStats(fc.warm, fc.warm+spikeDur).P99
+	a.QueueSpikeP99 = queueRun.WindowStats(fc.warm, fc.warm+spikeDur).P99
+	a.PagingBeatsQueueP99 = a.PagingSpikeP99 < a.QueueSpikeP99
+	nilSpikeP95 := nilRun.WindowStats(fc.warm, fc.warm+spikeDur).P95
+	autoSpikeP95 := autoRun.WindowStats(fc.warm, fc.warm+spikeDur).P95
+	a.AutoscalerRecoversP95 = autoRun.Fleet.ScaleUps > 0 &&
+		autoRun.Fleet.MaxLive <= 3*fc.replicas && autoSpikeP95 < nilSpikeP95
+	a.AutoscalerScalesBackDown = autoRun.Fleet.ScaleDowns > 0 &&
+		autoRun.Fleet.FinalLive < autoRun.Fleet.MaxLive
+
+	for _, arm := range sum.Arms {
+		fmt.Printf("  %-17s spike P95 %8.4fs P99 %8.4fs  recover P95 %8.4fs  shed %4d defer %4d  scale %d/%d  live max %d final %d  nvme %d\n",
+			arm.Name, arm.SpikeP95, arm.SpikeP99, arm.RecoverP95, arm.Shed, arm.Deferred,
+			arm.ScaleUps, arm.ScaleDowns, arm.MaxLive, arm.FinalLive, arm.NVMeFetches)
+	}
+	fmt.Printf("\ninert spec bit-identical to fleet-nil: %v\n", a.FleetDisabledBitIdentical)
+	fmt.Printf("shared host tier NVMe fetches %d vs independent %d -> reduces: %v\n",
+		a.NVMeShared, a.NVMeIndependent, a.SharedCacheReducesNVMe)
+	fmt.Printf("paging admission spike P99 %.4fs (shed %d) vs queue-depth %.4fs (shed %d, bound %d) -> paging wins: %v\n",
+		a.PagingSpikeP99, a.PagingShed, a.QueueSpikeP99, a.QueueShed, bestK, a.PagingBeatsQueueP99)
+	fmt.Printf("autoscaler spike P95 %.4fs vs fixed %.4fs, live max %d final %d -> recovers: %v, scales back down: %v\n",
+		autoSpikeP95, nilSpikeP95, autoRun.Fleet.MaxLive, autoRun.Fleet.FinalLive,
+		a.AutoscalerRecoversP95, a.AutoscalerScalesBackDown)
+
+	if fc.jsonPath != "-" {
+		blob, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteFileAtomic(fc.jsonPath, append(blob, '\n')); err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", fc.jsonPath)
+	}
+}

@@ -120,6 +120,7 @@ func main() {
 		replicas    = flag.Int("replicas", 2, "replica count behind the front-end")
 		drift       = flag.Bool("drift", false, "inject a mid-run dataset drift and compare static vs adaptive")
 		oversub     = flag.Bool("oversub", false, "sweep tiered expert-weight memory: cache policies x oversubscription ratios, write BENCH_expertmem.json")
+		fleetBench  = flag.Bool("fleet", false, "drive the fleet tier through a flash crowd: shared host cache vs independent, paging vs queue-depth admission, autoscaler on/off; write BENCH_fleet.json")
 		memaware    = flag.Bool("memaware", false, "with -oversub: add a memory-aware-placement arm per ratio (expert-stall cost folded into the solver objective) and compare against crossing-only")
 		residency   = flag.String("residency", "static", "residency model for memory-aware placement objectives: static | che; with -oversub, 'che' runs per-ratio adaptive drift arms under both models and records each one's predicted-vs-realized stall gap (the steady -memaware arm always solves with static so its cells stay comparable across runs)")
 		hostSlots   = flag.Int("hostslots", 0, "with -oversub: bound host-DRAM expert master copies per replica; coldest experts fall to NVMe (0 = all fit in DRAM)")
@@ -181,6 +182,21 @@ func main() {
 			seed: *seed, dur: *warm + *duration, arrival: *arrival, provision: provision,
 			jsonPath: path, memaware: *memaware, residency: *residency,
 			solveWorkers: *workers, solveLat: *solveLat, autoSolve: *autoSolve,
+		})
+		return
+	}
+	if *fleetBench {
+		// -json defaults to BENCH_fleet.json here, honoring an explicit value.
+		path := "BENCH_fleet.json"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "json" {
+				path = *jsonPath
+			}
+		})
+		runFleetBench(sys, cfg, fleetConfig{
+			gpus: *gpus, replicas: *replicas, decode: *decode, seed: *seed,
+			warm: *warm, duration: *duration, arrival: *arrival,
+			solveWorkers: *workers, jsonPath: path,
 		})
 		return
 	}
@@ -519,10 +535,12 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 	seed, dur, jsonPath := oc.seed, oc.dur, oc.jsonPath
 	fmt.Printf("oversubscription sweep: %s on %d GPUs x%d replicas, %.0fs of %s traffic per run at %.0f%% of each ratio's capacity\n",
 		cfg.String(), gpus, replicas, dur, oc.arrival, oc.provision*100)
+	// HostSlots stays out of base: base also drives calibration and the
+	// memory-disabled baseline, where a host-DRAM bound without the memory
+	// layer is rejected. runWith applies it to every oversubscribed arm.
 	base := exflow.ServeOptions{
 		Replicas:         replicas,
 		DecodeTokens:     decode,
-		HostSlots:        hostSlots,
 		SolveSeconds:     oc.solveLat,
 		SolveWorkers:     oc.solveWorkers,
 		AutoSolveSeconds: oc.autoSolve,
@@ -556,6 +574,9 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 		o.Oversubscription = ratio
 		o.CachePolicy = policy
 		o.MemoryAware = aware
+		if ratio > 0 {
+			o.HostSlots = hostSlots
+		}
 		o.Seed = armSeed
 		o.Phases = []exflow.ServePhase{{Name: "steady", Duration: dur, Rate: rate, Arrival: oc.arrival}}
 		rep, _, err := exflow.Serve(sys, o)
@@ -610,7 +631,9 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 				// act: one run stands for all of them.
 				policies = []string{"affinity"}
 			} else {
-				capTok, err := exflow.ProbeMemoryCapacity(sys, base, ratio, dur/2)
+				probeBase := base
+				probeBase.HostSlots = hostSlots
+				capTok, err := exflow.ProbeMemoryCapacity(sys, probeBase, ratio, dur/2)
 				if err != nil {
 					collect(sweepArm{}, err)
 					return
@@ -664,6 +687,7 @@ func runOversubSweep(sys *exflow.System, cfg moe.Config, oc oversubConfig) {
 						o.Calibration = cal
 						o.Oversubscription = ratio
 						o.CachePolicy = "affinity"
+						o.HostSlots = hostSlots
 						o.MemoryAware = true
 						o.ResidencyModel = model
 						o.Adaptive = true

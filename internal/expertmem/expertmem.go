@@ -189,6 +189,12 @@ type Stats struct {
 	StallSeconds float64
 	// BytesFetched is the total host-link traffic (demand + speculative).
 	BytesFetched int64
+	// NVMeFetches counts fetches whose master copy was not in host DRAM and
+	// paid the NVMe hop (NVMeSeconds in total) — under the static split the
+	// cold-by-popularity experts, under a shared HostTier whatever the
+	// node-level cache missed.
+	NVMeFetches int
+	NVMeSeconds float64
 }
 
 // HitRate is the fraction of demand accesses served with zero stall.
@@ -223,6 +229,8 @@ func (s *Stats) Add(o Stats) {
 	s.WastedPrefetches += o.WastedPrefetches
 	s.StallSeconds += o.StallSeconds
 	s.BytesFetched += o.BytesFetched
+	s.NVMeFetches += o.NVMeFetches
+	s.NVMeSeconds += o.NVMeSeconds
 }
 
 // String renders a compact summary.
@@ -244,6 +252,12 @@ type Manager struct {
 	succ       [][][]int // [layer][expert]: top-K layer+1 successors
 	hostTime   float64   // HostLink.Time(ExpertBytes)
 	nvmeTime   float64   // NVMeLink.Time(ExpertBytes)
+
+	// hostTier, when set, replaces the static hostOnNVMe split with a shared
+	// node-level master-copy tier (see SetHostTier); tierRep is this
+	// manager's replica id there.
+	hostTier HostTier
+	tierRep  int
 
 	// Observability (see Instrument); zero values are the no-op fast path.
 	tr  *obs.Tracer
@@ -273,6 +287,44 @@ func New(cfg Config) *Manager {
 	}
 	m.buildOracles()
 	return m
+}
+
+// HostTier abstracts where expert master copies live between host DRAM and
+// NVMe. The manager's default is its static popularity split (hostOnNVMe);
+// a shared node-level cache (internal/fleet.HostCache) implements this
+// interface so co-located replicas share one DRAM working set. FetchMaster
+// returns the extra seconds a fetch pays beyond the host link (zero on a
+// DRAM hit); Retain/Release track which replicas hold HBM copies fetched
+// through a master so the tier never evicts a master some replica's HBM
+// depends on re-fetching cheaply.
+type HostTier interface {
+	FetchMaster(rep, layer, expert int, now float64) float64
+	Retain(rep, layer, expert int)
+	Release(rep, layer, expert int)
+}
+
+// SetHostTier routes this manager's master-copy lookups through a shared
+// host tier as replica rep. Call before Warm so the preload registers its
+// references. With a tier installed the static hostOnNVMe split no longer
+// decides fetch cost (the tier does), though FetchSeconds still reports the
+// static estimate for pricing.
+func (m *Manager) SetHostTier(t HostTier, rep int) {
+	m.hostTier = t
+	m.tierRep = rep
+}
+
+// retainMaster / releaseMaster notify the shared tier (no-ops without one)
+// that this replica gained or lost an HBM copy of (layer, expert).
+func (m *Manager) retainMaster(layer, expert int) {
+	if m.hostTier != nil {
+		m.hostTier.Retain(m.tierRep, layer, expert)
+	}
+}
+
+func (m *Manager) releaseMaster(layer, expert int) {
+	if m.hostTier != nil {
+		m.hostTier.Release(m.tierRep, layer, expert)
+	}
 }
 
 // Oversubscribed reports whether the HBM budget is actually binding: when
@@ -432,6 +484,7 @@ func (m *Manager) Warm(assign [][]int) {
 				resident: true, pinned: pin, pop: c.pop,
 			}
 			s.used++
+			m.retainMaster(c.k.layer, c.k.expert)
 		}
 	}
 }
@@ -487,11 +540,10 @@ func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
 	// next access flips it resident.
 	s.stats.Misses++
 	m.met.misses.Inc()
-	ready := m.issueFetch(s, k, now)
+	ready, xfer := m.issueFetch(s, k, now)
 	stall := ready - now
 	s.stats.StallSeconds += stall
 	m.met.stallSeconds.Add(stall)
-	xfer := m.FetchSeconds(layer, expert)
 	m.met.fetchSeconds.Observe(xfer)
 	if m.tr != nil {
 		m.tr.Emit(obs.Event{Kind: obs.EvFetch, Rep: m.rep, GPU: int32(gpu),
@@ -503,6 +555,7 @@ func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
 			readyAt: ready, uses: 1, lastUse: ready, pop: m.popOf(layer, expert),
 		}
 		s.used++
+		m.retainMaster(layer, expert)
 	} else {
 		s.stats.Bypasses++
 		m.met.bypasses.Inc()
@@ -535,12 +588,13 @@ func (m *Manager) Prefetch(gpu, layer, expert int, now float64) {
 		m.dropPrefetch(gpu, layer, expert, now, DropNoSlot)
 		return
 	}
-	ready := m.issueFetch(s, k, now)
+	ready, _ := m.issueFetch(s, k, now)
 	s.entries[k] = &Entry{
 		Layer: layer, Expert: expert,
 		readyAt: ready, lastUse: ready, prefetched: true, pop: m.popOf(layer, expert),
 	}
 	s.used++
+	m.retainMaster(layer, expert)
 	s.stats.Prefetches++
 	m.met.prefetches.Inc()
 	if m.tr != nil {
@@ -559,17 +613,30 @@ func (m *Manager) dropPrefetch(gpu, layer, expert int, now float64, reason int64
 }
 
 // issueFetch charges one expert transfer to the shard's host-link channel
-// and returns the completion time.
-func (m *Manager) issueFetch(s *shard, k key, now float64) float64 {
+// and returns the completion time plus the transfer's own duration. The
+// master-copy hop comes from the shared HostTier when one is installed
+// (DRAM hit for anything a neighbor replica already fetched), otherwise
+// from the static popularity split.
+func (m *Manager) issueFetch(s *shard, k key, now float64) (ready, xfer float64) {
 	start := now
 	if s.linkFreeAt > start {
 		start = s.linkFreeAt
 	}
-	ready := start + m.FetchSeconds(k.layer, k.expert)
+	xfer = m.hostTime
+	if m.hostTier != nil {
+		xfer += m.hostTier.FetchMaster(m.tierRep, k.layer, k.expert, now)
+	} else if m.hostOnNVMe != nil && m.hostOnNVMe[k.layer*m.cfg.Experts+k.expert] {
+		xfer += m.nvmeTime
+	}
+	if extra := xfer - m.hostTime; extra > 0 {
+		s.stats.NVMeFetches++
+		s.stats.NVMeSeconds += extra
+	}
+	ready = start + xfer
 	s.linkFreeAt = ready
 	s.stats.BytesFetched += int64(m.cfg.ExpertBytes)
 	m.met.bytesFetched.Add(float64(m.cfg.ExpertBytes))
-	return ready
+	return ready, xfer
 }
 
 // freeSlot ensures the shard has a free slot, evicting a policy-chosen
@@ -595,6 +662,7 @@ func (m *Manager) freeSlot(s *shard, now float64) bool {
 	}
 	delete(s.entries, key{victim.Layer, victim.Expert})
 	s.used--
+	m.releaseMaster(victim.Layer, victim.Expert)
 	s.stats.Evictions++
 	m.met.evictions.Inc()
 	if m.tr != nil {
@@ -631,6 +699,7 @@ func (m *Manager) Relocate(layer, expert, from, to int, now float64) bool {
 		}
 		delete(src.entries, k)
 		src.used--
+		m.releaseMaster(layer, expert)
 	}
 	dst := m.shards[to]
 	if dst.entries[k] == nil && m.freeSlot(dst, now) {
@@ -639,6 +708,7 @@ func (m *Manager) Relocate(layer, expert, from, to int, now float64) bool {
 			resident: true, lastUse: now, pinned: m.policy.Pin(), pop: m.popOf(layer, expert),
 		}
 		dst.used++
+		m.retainMaster(layer, expert)
 	}
 	return churned
 }

@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecWithDefaults(t *testing.T) {
+	d := Spec{}.WithDefaults()
+	if d.TargetUtilization != 0.75 || d.ForecastHalfLife != 5 ||
+		d.ScaleUpCooldown != 2 || d.ScaleDownCooldown != 6 ||
+		d.DownscaleStreak != 3 || d.ReconcileInterval != 1 ||
+		d.MaxQueuePerReplica != 64 || d.DeferSeconds != 0.25 || d.MaxDefers != 2 {
+		t.Errorf("defaults = %+v", d)
+	}
+	if d.MinReplicas != 0 {
+		t.Errorf("MinReplicas defaulted to %d with autoscaling off, want 0", d.MinReplicas)
+	}
+	if a := (Spec{MaxReplicas: 4}).WithDefaults(); a.MinReplicas != 1 {
+		t.Errorf("MinReplicas = %d with autoscaling on, want floor 1", a.MinReplicas)
+	}
+	// Explicit values survive defaulting.
+	e := Spec{TargetUtilization: 0.5, MaxDefers: 7}.WithDefaults()
+	if e.TargetUtilization != 0.5 || e.MaxDefers != 7 {
+		t.Errorf("explicit tunables overwritten: %+v", e)
+	}
+}
+
+func TestSpecAutoscaling(t *testing.T) {
+	if (&Spec{}).Autoscaling() {
+		t.Error("zero spec reports autoscaling on")
+	}
+	if !(&Spec{MaxReplicas: 2}).Autoscaling() {
+		t.Error("MaxReplicas 2 reports autoscaling off")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     Spec
+		replicas int
+		wantErr  string
+	}{
+		{"inert ok", Spec{}, 2, ""},
+		{"autoscaling ok", Spec{MinReplicas: 1, MaxReplicas: 4}, 2, ""},
+		{"negative bounds", Spec{MinReplicas: -1}, 2, "non-negative"},
+		{"floor without ceiling", Spec{MinReplicas: 2}, 2, "MaxReplicas is 0"},
+		{"min over max", Spec{MinReplicas: 5, MaxReplicas: 4}, 4, "exceeds"},
+		{"replicas outside bounds", Spec{MinReplicas: 2, MaxReplicas: 4}, 1, "outside autoscaler bounds"},
+		{"utilization over one", Spec{TargetUtilization: 1.5}, 2, "TargetUtilization"},
+		{"negative time", Spec{DeferSeconds: -1}, 2, "time tunables"},
+		{"negative count", Spec{MaxDefers: -1}, 2, "count tunables"},
+		{"unknown admission", Spec{Admission: "vibes"}, 2, "unknown admission policy"},
+		{"paging without SLO", Spec{Admission: AdmissionPaging}, 2, "SLOSeconds"},
+		{"paging with SLO ok", Spec{Admission: AdmissionPaging, SLOSeconds: 2}, 2, ""},
+		{"queue ok", Spec{Admission: AdmissionQueue}, 2, ""},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate(c.replicas)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package fleet
+
+import "fmt"
+
+// CacheStats counts the shared host tier's activity.
+type CacheStats struct {
+	// DRAMHits are master-copy lookups served from host DRAM; NVMeFetches
+	// had to pull the master copy up from NVMe first, spending NVMeSeconds
+	// of link time in total.
+	DRAMHits    int
+	NVMeFetches int
+	NVMeSeconds float64
+	// Inserts / Evictions / Bypasses track the DRAM working set: a fetched
+	// master cached, the least-recently-used victim dropped to make room,
+	// and a fetch streamed through without caching (only possible on a
+	// degenerate empty working set).
+	Inserts   int
+	Evictions int
+	Bypasses  int
+	// Invalidations counts entries dropped for coherence when a migration
+	// relocated the expert (the master copy is re-ranked under the new
+	// placement's traffic, so the cached copy must not serve stale hits
+	// unobserved — see HostCache.Invalidate).
+	Invalidations int
+}
+
+// String renders a compact summary.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hostcache: %d DRAM hits, %d NVMe fetches (%.3fs), %d evictions, %d invalidations",
+		s.DRAMHits, s.NVMeFetches, s.NVMeSeconds, s.Evictions, s.Invalidations)
+}
+
+// hcEntry is one cached master copy: which replicas hold HBM copies fetched
+// through it (refs), and the ranking state eviction uses.
+type hcEntry struct {
+	pop     float64
+	lastUse float64
+	refs    map[int]int
+	total   int // sum of refs
+}
+
+// HostCache is the node-level shared host-DRAM master-copy tier: one bounded
+// working set of expert master copies serving every co-located replica.
+// A replica's HBM miss asks the cache for the master copy (FetchMaster):
+// DRAM-resident masters transfer at host-link speed (the caller's cost, not
+// ours — we return only the extra NVMe hop), cold ones pay the NVMe hop once
+// and are then warm for every neighbor until recency-first eviction (see
+// evict) turns them over. Per-replica reference counts record which replicas
+// hold HBM copies fetched through each master — retirement bookkeeping
+// (ReleaseReplica) and coherence (Invalidate), not eviction pins.
+//
+// The cache is driven from the serving simulator's single-threaded event
+// loop and is deliberately not safe for concurrent use. Eviction scans the
+// whole map under a total order (popularity, then last use, then key), so
+// victim choice is deterministic regardless of map iteration order.
+type HostCache struct {
+	layers, experts int
+	slots           int
+	nvmeSeconds     float64
+	pop             []float64
+	entries         map[int]*hcEntry
+	stats           CacheStats
+}
+
+// NewHostCache builds the shared tier and seeds it with the slots most
+// popular experts — the same deployment-time preload the per-replica static
+// split models, so at one replica the shared tier's DRAM set matches the
+// independent tier's. popularity is the affinity-mass oracle (for example
+// expertmem.Manager.Popularity).
+func NewHostCache(layers, experts, slots int, nvmeSeconds float64, popularity func(layer, expert int) float64) *HostCache {
+	n := layers * experts
+	c := &HostCache{
+		layers: layers, experts: experts,
+		slots:       slots,
+		nvmeSeconds: nvmeSeconds,
+		pop:         make([]float64, n),
+		entries:     make(map[int]*hcEntry, slots),
+	}
+	for l := 0; l < layers; l++ {
+		for e := 0; e < experts; e++ {
+			c.pop[l*experts+e] = popularity(l, e)
+		}
+	}
+	if slots <= 0 || slots >= n {
+		// Unbounded: every master fits in DRAM; nothing to manage.
+		c.slots = 0
+		return c
+	}
+	// Seed the top-slots experts by popularity (ties by index, matching the
+	// per-replica static split's ordering).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		// Insertion sort by (pop desc, index asc): n is small (layers*experts)
+		// and this runs once.
+		for j := i; j > 0 && c.pop[order[j]] > c.pop[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, k := range order[:slots] {
+		c.entries[k] = &hcEntry{pop: c.pop[k], refs: make(map[int]int)}
+	}
+	return c
+}
+
+func (c *HostCache) key(layer, expert int) int { return layer*c.experts + expert }
+
+// FetchMaster resolves replica rep's fetch of (layer, expert)'s master copy
+// at simulated time now and returns the extra seconds beyond the host-link
+// transfer: zero for a DRAM hit, the NVMe hop for a cold master. A cold
+// master is cached afterwards (evicting the least popular unreferenced
+// entry) so the next replica's fetch hits DRAM.
+func (c *HostCache) FetchMaster(rep, layer, expert int, now float64) float64 {
+	if c.slots == 0 {
+		c.stats.DRAMHits++
+		return 0
+	}
+	k := c.key(layer, expert)
+	if e := c.entries[k]; e != nil {
+		e.lastUse = now
+		c.stats.DRAMHits++
+		return 0
+	}
+	c.stats.NVMeFetches++
+	c.stats.NVMeSeconds += c.nvmeSeconds
+	if len(c.entries) >= c.slots && !c.evict() {
+		c.stats.Bypasses++
+		return c.nvmeSeconds
+	}
+	c.entries[k] = &hcEntry{pop: c.pop[k], lastUse: now, refs: make(map[int]int)}
+	c.stats.Inserts++
+	return c.nvmeSeconds
+}
+
+// evict drops the least-recently-used entry (ties by lowest popularity, then
+// lowest key — a total order, so the full-map scan is deterministic despite
+// map iteration). Recency, not popularity, picks the victim: what DRAM saves
+// is the repeated NVMe fetch, and the masters fetched recently — the cold
+// tail thrashing in and out of HBM — are exactly the ones about to be
+// fetched again, by a neighbor replica or by the same one after its HBM
+// working set turns over. The overall popularity ranking would instead keep
+// the hot experts, which are HBM-resident and never fetched at all.
+// References do not block eviction (a master backed by some replica's HBM
+// copy costs nothing to drop until that copy is evicted); they exist for
+// retirement and coherence bookkeeping. Returns false only on an empty
+// cache.
+func (c *HostCache) evict() bool {
+	victim := -1
+	var ve *hcEntry
+	for k, e := range c.entries {
+		if ve == nil || better(e, k, ve, victim) {
+			victim, ve = k, e
+		}
+	}
+	if ve == nil {
+		return false
+	}
+	delete(c.entries, victim)
+	c.stats.Evictions++
+	return true
+}
+
+// better reports whether candidate (e, k) beats the current victim (ve, vk).
+func better(e *hcEntry, k int, ve *hcEntry, vk int) bool {
+	if e.lastUse != ve.lastUse {
+		return e.lastUse < ve.lastUse
+	}
+	if e.pop != ve.pop {
+		return e.pop < ve.pop
+	}
+	return k < vk
+}
+
+// Retain records that replica rep now holds an HBM copy fetched through this
+// master. No-op when the master is not cached (evicted, bypassed, or already
+// invalidated).
+func (c *HostCache) Retain(rep, layer, expert int) {
+	if c.slots == 0 {
+		return
+	}
+	if e := c.entries[c.key(layer, expert)]; e != nil {
+		e.refs[rep]++
+		e.total++
+	}
+}
+
+// Release drops one of replica rep's references (HBM eviction or relocation
+// away). No-op when the master is not cached or rep holds no reference.
+func (c *HostCache) Release(rep, layer, expert int) {
+	if c.slots == 0 {
+		return
+	}
+	e := c.entries[c.key(layer, expert)]
+	if e == nil || e.refs[rep] == 0 {
+		return
+	}
+	e.refs[rep]--
+	e.total--
+	if e.refs[rep] == 0 {
+		delete(e.refs, rep)
+	}
+}
+
+// Invalidate drops (layer, expert)'s cached master for coherence: a
+// migration moved the expert, the popularity ranking it was cached under no
+// longer reflects the live placement's traffic, and replicas installing the
+// new placement must re-fetch through the current ranking rather than hit a
+// stale entry forever. Outstanding replica references die with the entry
+// (their later Releases no-op).
+func (c *HostCache) Invalidate(layer, expert int) {
+	if c.slots == 0 {
+		return
+	}
+	k := c.key(layer, expert)
+	if c.entries[k] != nil {
+		delete(c.entries, k)
+		c.stats.Invalidations++
+	}
+}
+
+// ReleaseReplica drops every reference replica rep holds — called when a
+// drained replica retires so its pins stop protecting entries.
+func (c *HostCache) ReleaseReplica(rep int) {
+	for _, e := range c.entries {
+		if n := e.refs[rep]; n > 0 {
+			e.total -= n
+			delete(e.refs, rep)
+		}
+	}
+}
+
+// Resident reports whether (layer, expert)'s master copy is in DRAM.
+func (c *HostCache) Resident(layer, expert int) bool {
+	if c.slots == 0 {
+		return true
+	}
+	return c.entries[c.key(layer, expert)] != nil
+}
+
+// Stats returns a copy of the counters.
+func (c *HostCache) Stats() CacheStats { return c.stats }

@@ -1,0 +1,182 @@
+package fleet
+
+import "testing"
+
+// popRank gives every (layer, expert) a distinct popularity so seeding and
+// eviction orders are fully determined: higher flat index = more popular.
+func popRank(experts int) func(int, int) float64 {
+	return func(layer, expert int) float64 {
+		return float64(layer*experts + expert)
+	}
+}
+
+func TestHostCacheSeedsTopByPopularity(t *testing.T) {
+	// 2x4 = 8 masters, 3 slots: indices 7, 6, 5 are the most popular.
+	c := NewHostCache(2, 4, 3, 1e-3, popRank(4))
+	for flat := 0; flat < 8; flat++ {
+		want := flat >= 5
+		if got := c.Resident(flat/4, flat%4); got != want {
+			t.Errorf("Resident(%d,%d) = %v, want %v", flat/4, flat%4, got, want)
+		}
+	}
+}
+
+func TestHostCacheHitAndMiss(t *testing.T) {
+	c := NewHostCache(2, 4, 3, 1e-3, popRank(4))
+	// Seeded master: DRAM hit, no extra seconds.
+	if extra := c.FetchMaster(0, 1, 3, 1.0); extra != 0 {
+		t.Errorf("hit cost = %v, want 0", extra)
+	}
+	// Cold master: pays the NVMe hop and is cached for the next replica.
+	if extra := c.FetchMaster(0, 0, 0, 2.0); extra != 1e-3 {
+		t.Errorf("miss cost = %v, want 1e-3", extra)
+	}
+	if extra := c.FetchMaster(1, 0, 0, 3.0); extra != 0 {
+		t.Errorf("neighbor refetch cost = %v, want 0 (shared tier)", extra)
+	}
+	st := c.Stats()
+	if st.DRAMHits != 2 || st.NVMeFetches != 1 || st.Inserts != 1 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 fetch / 1 insert / 1 eviction", st)
+	}
+	if st.NVMeSeconds != 1e-3 {
+		t.Errorf("NVMeSeconds = %v, want 1e-3", st.NVMeSeconds)
+	}
+}
+
+func TestHostCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewHostCache(1, 8, 3, 1e-3, popRank(8))
+	// Seeded: 7, 6, 5 (lastUse 0 for all). Touch 6 and 5 so 7 is the LRU.
+	c.FetchMaster(0, 0, 6, 1.0)
+	c.FetchMaster(0, 0, 5, 2.0)
+	c.FetchMaster(0, 0, 0, 3.0) // cold: inserts 0, must evict 7
+	if c.Resident(0, 7) {
+		t.Error("expert 7 (least recently used) should have been evicted")
+	}
+	for _, e := range []int{6, 5, 0} {
+		if !c.Resident(0, e) {
+			t.Errorf("expert %d should be resident", e)
+		}
+	}
+}
+
+func TestHostCacheEvictionTieBreaksByPopularityThenKey(t *testing.T) {
+	// All seeded entries share lastUse 0, so the first eviction falls back to
+	// lowest popularity: that is expert 5 (pop 5 < 6 < 7).
+	c := NewHostCache(1, 8, 3, 1e-3, popRank(8))
+	c.FetchMaster(0, 0, 1, 1.0)
+	if c.Resident(0, 5) {
+		t.Error("expert 5 (lowest popularity at equal recency) should have been evicted")
+	}
+
+	// Equal popularity and recency: lowest key loses.
+	flat := NewHostCache(1, 4, 2, 1e-3, func(int, int) float64 { return 1 })
+	// Seeded with ties broken by index: experts 0 and 1.
+	flat.FetchMaster(0, 0, 3, 1.0)
+	if flat.Resident(0, 0) {
+		t.Error("expert 0 (lowest key at equal recency and popularity) should have been evicted")
+	}
+	if !flat.Resident(0, 1) || !flat.Resident(0, 3) {
+		t.Error("experts 1 and 3 should be resident")
+	}
+}
+
+func TestHostCacheRefsDoNotPinEviction(t *testing.T) {
+	c := NewHostCache(1, 8, 3, 1e-3, popRank(8))
+	// Pin every seeded entry with replica references; eviction must still
+	// pick the LRU (refs are retirement bookkeeping, not pins).
+	for _, e := range []int{5, 6, 7} {
+		c.Retain(0, 0, e)
+	}
+	c.FetchMaster(0, 0, 0, 1.0)
+	if st := c.Stats(); st.Evictions != 1 || st.Bypasses != 0 {
+		t.Errorf("stats = %+v, want 1 eviction and no bypasses despite refs", st)
+	}
+}
+
+func TestHostCacheUnbounded(t *testing.T) {
+	for _, slots := range []int{0, 8, 100} {
+		c := NewHostCache(1, 8, slots, 1e-3, popRank(8))
+		if extra := c.FetchMaster(0, 0, 2, 1.0); extra != 0 {
+			t.Errorf("slots=%d: unbounded fetch cost = %v, want 0", slots, extra)
+		}
+		if !c.Resident(0, 2) {
+			t.Errorf("slots=%d: everything is resident in an unbounded tier", slots)
+		}
+		if st := c.Stats(); st.NVMeFetches != 0 {
+			t.Errorf("slots=%d: NVMeFetches = %d, want 0", slots, st.NVMeFetches)
+		}
+	}
+}
+
+func TestHostCacheRefcountBookkeeping(t *testing.T) {
+	c := NewHostCache(1, 8, 3, 1e-3, popRank(8))
+	c.Retain(0, 0, 7)
+	c.Retain(0, 0, 7)
+	c.Retain(1, 0, 7)
+	e := c.entries[c.key(0, 7)]
+	if e.total != 3 || e.refs[0] != 2 || e.refs[1] != 1 {
+		t.Fatalf("refs = %v total %d, want {0:2 1:1} total 3", e.refs, e.total)
+	}
+	c.Release(0, 0, 7)
+	if e.total != 2 || e.refs[0] != 1 {
+		t.Errorf("after release: refs = %v total %d, want {0:1 1:1} total 2", e.refs, e.total)
+	}
+	// Releasing with no reference held is a no-op.
+	c.Release(3, 0, 7)
+	if e.total != 2 {
+		t.Errorf("release without a ref changed total to %d", e.total)
+	}
+	// Releasing a master that is not cached is a no-op.
+	c.Release(0, 0, 1)
+
+	// Retiring replica 0 drops its remaining reference but leaves replica 1's.
+	c.ReleaseReplica(0)
+	if e.total != 1 || e.refs[1] != 1 {
+		t.Errorf("after ReleaseReplica(0): refs = %v total %d, want {1:1} total 1", e.refs, e.total)
+	}
+	if _, held := e.refs[0]; held {
+		t.Error("replica 0's ref map entry should be gone")
+	}
+}
+
+func TestHostCacheRetainAfterEvictionNoOps(t *testing.T) {
+	c := NewHostCache(1, 8, 3, 1e-3, popRank(8))
+	c.FetchMaster(0, 0, 0, 1.0) // evicts one seeded entry (expert 5)
+	c.Retain(0, 0, 5)           // master no longer cached: no-op
+	if c.Resident(0, 5) {
+		t.Error("Retain must not resurrect an evicted master")
+	}
+}
+
+func TestHostCacheInvalidate(t *testing.T) {
+	c := NewHostCache(1, 8, 3, 1e-3, popRank(8))
+	c.Retain(0, 0, 7)
+	c.Invalidate(0, 7)
+	if c.Resident(0, 7) {
+		t.Error("invalidated master still resident")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("Invalidations = %d, want 1", st.Invalidations)
+	}
+	// The outstanding reference died with the entry: its release no-ops.
+	c.Release(0, 0, 7)
+	// Invalidating an absent master is a no-op, not a double count.
+	c.Invalidate(0, 7)
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("Invalidations = %d after re-invalidate, want 1", st.Invalidations)
+	}
+	// Unbounded tier: invalidate is a no-op (there is nothing to manage).
+	u := NewHostCache(1, 8, 0, 1e-3, popRank(8))
+	u.Invalidate(0, 3)
+	if st := u.Stats(); st.Invalidations != 0 {
+		t.Errorf("unbounded Invalidations = %d, want 0", st.Invalidations)
+	}
+}
+
+func TestCacheStatsString(t *testing.T) {
+	s := CacheStats{DRAMHits: 2, NVMeFetches: 1, NVMeSeconds: 0.5, Evictions: 3, Invalidations: 4}
+	want := "hostcache: 2 DRAM hits, 1 NVMe fetches (0.500s), 3 evictions, 4 invalidations"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

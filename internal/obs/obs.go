@@ -65,8 +65,21 @@ const (
 	// EvQueueDepth samples the fleet-wide queued+active request count
 	// (Value). Rendered as a Perfetto counter track.
 	EvQueueDepth
+	// EvScaleUp / EvScaleDown are autoscaler actions: a replica beginning its
+	// warm-up (EvScaleUp spans the parameter-copy + cache-fill time) and a
+	// replica drained out of the serving set. Aux is the replica id.
+	EvScaleUp
+	EvScaleDown
+	// EvShed / EvDefer are admission-control outcomes for one arriving
+	// request: dropped, or re-offered after a short wait. Aux is the request
+	// index.
+	EvShed
+	EvDefer
+	// EvFleetSize samples the committed (live + warming) replica count
+	// (Value). Rendered as a Perfetto counter track.
+	EvFleetSize
 
-	numEventKinds = int(EvQueueDepth) + 1
+	numEventKinds = int(EvFleetSize) + 1
 )
 
 // String names the kind as it appears in exported traces.
@@ -106,6 +119,16 @@ func (k EventKind) String() string {
 		return "drift-score"
 	case EvQueueDepth:
 		return "queue-depth"
+	case EvScaleUp:
+		return "scale-up"
+	case EvScaleDown:
+		return "scale-down"
+	case EvShed:
+		return "shed"
+	case EvDefer:
+		return "defer"
+	case EvFleetSize:
+		return "fleet-size"
 	default:
 		return "unknown"
 	}
@@ -125,6 +148,8 @@ var highVolume = [numEventKinds]bool{
 	EvPrefetchIssue: true,
 	EvPrefetchHit:   true,
 	EvPrefetchDrop:  true,
+	EvShed:          true,
+	EvDefer:         true,
 }
 
 // Event is one recorded occurrence on the simulated clock. It is a flat

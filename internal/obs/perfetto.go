@@ -152,7 +152,7 @@ func PerfettoJSON(t *Tracer) ([]byte, error) {
 			Args: eventArgs(e),
 		}
 		switch {
-		case e.Kind == EvDrift || e.Kind == EvQueueDepth:
+		case e.Kind == EvDrift || e.Kind == EvQueueDepth || e.Kind == EvFleetSize:
 			te.Ph = "C"
 			te.Args = map[string]any{"value": e.Value}
 		case e.Dur > 0:

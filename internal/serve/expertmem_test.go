@@ -162,6 +162,13 @@ func TestServeValidatesMemoryOptions(t *testing.T) {
 	if _, err := Run(opts); err == nil {
 		t.Fatal("memory-aware re-placement without the memory layer accepted")
 	}
+	opts.MemoryAware = false
+	opts.HostSlots = 32
+	// Pinned: an earlier revision silently accepted a HostSlots bound with
+	// the memory layer off, leaving the option a no-op.
+	if _, err := Run(opts); err == nil {
+		t.Fatal("HostSlots without the memory layer accepted")
+	}
 }
 
 func TestServeMemoryAwareMigrationReportsStallDeltas(t *testing.T) {

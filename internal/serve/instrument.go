@@ -28,6 +28,32 @@ type serveMetrics struct {
 	iterSeconds  *obs.Histogram // serve_iteration_seconds: per-iteration durations
 }
 
+// fleetMetrics caches the fleet tier's metric handles. Unlike serveMetrics
+// these register only when the fleet tier is enabled, so runs without one
+// keep exactly today's exported metric name set.
+type fleetMetrics struct {
+	committed  *obs.Gauge   // fleet_committed_replicas: live + warming
+	stallEst   *obs.Gauge   // fleet_stall_estimate: predicted stall s/token
+	scaleUps   *obs.Counter // fleet_scale_ups_total
+	scaleDowns *obs.Counter // fleet_scale_downs_total
+	sheds      *obs.Counter // fleet_shed_total
+	defers     *obs.Counter // fleet_deferred_total
+}
+
+func newFleetMetrics(reg *obs.Registry) fleetMetrics {
+	if reg == nil {
+		return fleetMetrics{}
+	}
+	return fleetMetrics{
+		committed:  reg.Gauge("fleet_committed_replicas"),
+		stallEst:   reg.Gauge("fleet_stall_estimate"),
+		scaleUps:   reg.Counter("fleet_scale_ups_total"),
+		scaleDowns: reg.Counter("fleet_scale_downs_total"),
+		sheds:      reg.Counter("fleet_shed_total"),
+		defers:     reg.Counter("fleet_deferred_total"),
+	}
+}
+
 // newServeMetrics registers every serve-level metric up front so a snapshot
 // always carries the full name set (zeros included), keeping exported
 // metrics schema-stable across runs. A nil registry yields the zero value.

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/expertmem"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -71,6 +72,10 @@ type Report struct {
 	// Saturated reports whether the fleet-wide queue was still growing at
 	// the end of the run (offered load above capacity).
 	Saturated bool
+	// Fleet is the fleet tier's run summary — admission accounting,
+	// autoscaler activity, shared host-cache stats (nil when Options.Fleet
+	// is nil).
+	Fleet *fleet.Report
 	// Metrics is the end-of-run snapshot of Options.Metrics (nil when no
 	// registry was attached). Its mem_stall_seconds counter equals
 	// MemStallSeconds exactly: both accumulate the same float additions in
@@ -139,18 +144,33 @@ func (r *Report) String() string {
 
 // buildReport aggregates the run state.
 func (s *server) buildReport() *Report {
+	// Shed requests never decode; every latency/throughput figure below is
+	// over the admitted population (identical to all arrivals without a
+	// fleet, where nothing can be shed).
+	admitted := 0
+	for _, rq := range s.arrivals {
+		if !rq.shed {
+			admitted++
+		}
+	}
 	rep := &Report{
 		Migrations:      s.migrations,
 		Solves:          s.ctrl.solves,
 		DiscardedSolves: s.ctrl.discards,
 		Iterations:      s.iterations,
-		Requests:        len(s.arrivals),
-		Tokens:          len(s.arrivals) * s.opts.DecodeTokens,
+		Requests:        admitted,
+		Tokens:          admitted * s.opts.DecodeTokens,
 	}
 	if s.mems != nil {
-		var mst expertmem.Stats
+		mst := expertmem.Stats{}
 		for _, mem := range s.mems {
+			if mem == nil {
+				continue // dark fleet slot, never activated
+			}
 			mst.Add(mem.Stats())
+		}
+		if s.fl != nil {
+			mst.Add(s.fl.retiredStats)
 		}
 		rep.ExpertMem = &mst
 		rep.MemStallSeconds = s.memStall
@@ -161,6 +181,9 @@ func (s *server) buildReport() *Report {
 
 	// Requests are already sorted by arrival (generated in time order).
 	for _, rq := range s.arrivals {
+		if rq.shed {
+			continue
+		}
 		rep.arrivalTimes = append(rep.arrivalTimes, rq.arrival)
 		rep.latencies = append(rep.latencies, rq.finish-rq.arrival)
 		rep.finishTimes = append(rep.finishTimes, rq.finish)
@@ -226,6 +249,9 @@ func (s *server) buildReport() *Report {
 		early := stats.Max(s.queueY[:n/2])
 		late := stats.Max(s.queueY[n/2:])
 		rep.Saturated = late > 4*early+8
+	}
+	if s.fl != nil {
+		rep.Fleet = s.fleetReport()
 	}
 	if s.opts.Metrics != nil {
 		rep.Metrics = s.opts.Metrics.Snapshot()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/expertmem"
+	"repro/internal/fleet"
 	"repro/internal/moe"
 	"repro/internal/obs"
 	"repro/internal/placement"
@@ -122,6 +123,20 @@ type Options struct {
 	// MigrationEvent's PredictedStallDelta is computed with the selected
 	// model. Only meaningful with MemoryAware.
 	ResidencyModel string
+	// StallTrigger arms the stall-rate migration trigger: the controller also
+	// fires a re-solve when charged expert-stall seconds per token trend up
+	// at a stable routing mix — residency decay the transition-distribution
+	// drift detector cannot see. Requires Adaptive and Oversubscription > 0.
+	StallTrigger bool
+	// StallTriggerFactor is how far above its observed minimum the smoothed
+	// stall rate must rise before the trigger fires (default 1.5).
+	StallTriggerFactor float64
+	// Fleet enables the node-level fleet tier (internal/fleet): a shared
+	// host-DRAM master-copy cache across co-located replicas, a
+	// reconciliation-loop autoscaler on the simulated clock, and paging-aware
+	// admission control. Nil disables the tier entirely — the serve path is
+	// then bit-identical to a build without it.
+	Fleet *fleet.Spec
 	// LatencyBucket is the report's time-bucket width in seconds for the
 	// P95/throughput series (0 = makespan/80).
 	LatencyBucket float64
@@ -205,7 +220,17 @@ func (o Options) withDefaults() Options {
 	if o.SolveWorkers == 0 {
 		o.SolveWorkers = 1
 	}
+	if o.StallTrigger && o.StallTriggerFactor == 0 {
+		o.StallTriggerFactor = 1.5
+	}
 	return o
+}
+
+// pagingAdmission reports whether the fleet tier prices admission with the
+// residency oracle — the one configuration where ResidencyModel is
+// meaningful without MemoryAware.
+func (o *Options) pagingAdmission() bool {
+	return o.Fleet != nil && o.Fleet.Admission == fleet.AdmissionPaging
 }
 
 // Validate checks the options.
@@ -229,14 +254,27 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("serve: Oversubscription must be 0 (off) or >= 1, got %v", o.Oversubscription)
 	case o.HostSlots < 0:
 		return fmt.Errorf("serve: HostSlots must be non-negative")
+	case o.Oversubscription == 0 && o.HostSlots > 0:
+		// HostSlots bounds the host-DRAM tier of the memory layer; without
+		// Oversubscription there is no memory layer and the bound would
+		// silently do nothing.
+		return fmt.Errorf("serve: HostSlots %d set but Oversubscription is 0 (memory layer disabled); set Oversubscription >= 1 or drop HostSlots", o.HostSlots)
 	case o.Oversubscription == 0 && o.CachePolicy != "":
 		// A policy without the memory layer would silently do nothing; that
 		// almost always means the caller forgot Oversubscription.
 		return fmt.Errorf("serve: CachePolicy %q set but Oversubscription is 0 (memory layer disabled); set Oversubscription >= 1 or drop the policy", o.CachePolicy)
 	case o.Oversubscription == 0 && o.MemoryAware:
 		return fmt.Errorf("serve: MemoryAware requires the tiered memory layer; set Oversubscription >= 1")
-	case o.ResidencyModel != "" && !o.MemoryAware:
+	case o.ResidencyModel != "" && !o.MemoryAware && !o.pagingAdmission():
 		return fmt.Errorf("serve: ResidencyModel %q set but MemoryAware is off; enable MemoryAware or drop the model", o.ResidencyModel)
+	case o.StallTriggerFactor < 0:
+		return fmt.Errorf("serve: StallTriggerFactor must be non-negative, got %v", o.StallTriggerFactor)
+	case o.StallTriggerFactor > 0 && !o.StallTrigger:
+		return fmt.Errorf("serve: StallTriggerFactor set but StallTrigger is off; enable it or drop the factor")
+	case o.StallTrigger && o.Oversubscription == 0:
+		return fmt.Errorf("serve: StallTrigger watches tiered-memory stalls; set Oversubscription >= 1")
+	case o.StallTrigger && !o.Adaptive:
+		return fmt.Errorf("serve: StallTrigger requires the adaptive controller; enable Adaptive")
 	case o.SolveSeconds < 0:
 		return fmt.Errorf("serve: SolveSeconds must be non-negative, got %v", o.SolveSeconds)
 	case o.SolveSecondsPrior < 0:
@@ -253,6 +291,20 @@ func (o *Options) Validate() error {
 	}
 	if _, err := placement.ParseResidencyModel(o.ResidencyModel); err != nil {
 		return err
+	}
+	if o.Fleet != nil {
+		if err := o.Fleet.Validate(o.Replicas); err != nil {
+			return err
+		}
+		if o.Fleet.SharedHostCache && o.Oversubscription == 0 {
+			return fmt.Errorf("serve: Fleet.SharedHostCache requires the tiered memory layer; set Oversubscription >= 1")
+		}
+		if o.Fleet.SharedHostCache && o.HostSlots == 0 {
+			return fmt.Errorf("serve: Fleet.SharedHostCache without HostSlots is inert (every master fits in DRAM); set HostSlots or drop the shared cache")
+		}
+		if o.Fleet.Admission == fleet.AdmissionPaging && o.Oversubscription == 0 {
+			return fmt.Errorf("serve: Fleet paging admission prices tiered-memory stalls; set Oversubscription >= 1")
+		}
 	}
 	for _, p := range o.Phases {
 		if err := p.validate(); err != nil {
@@ -275,6 +327,11 @@ type request struct {
 	finish    float64
 	replica   int
 	home      int // home GPU inside the replica (layer-0 dispatch origin)
+	seq       int // index into server.arrivals
+	// defers / shed are the fleet tier's admission outcome: how many times
+	// the request was re-offered, and whether it was ultimately dropped.
+	defers int
+	shed   bool
 }
 
 // replica is one expert-parallel deployment behind the front-end.
@@ -286,18 +343,26 @@ type replica struct {
 	running bool
 	stalled bool
 	admits  int
+	// live / draining / warming are the fleet tier's lifecycle: serving,
+	// finishing its queue before retiring, or copying parameters before
+	// activation. Without a fleet every replica is permanently live.
+	live     bool
+	draining bool
+	warming  bool
 }
 
 // load is the front-end's routing metric: queued plus active requests.
 func (r *replica) load() int { return len(r.queue) + len(r.active) }
 
-// Event kinds, in tie-break priority order at equal timestamps: arrivals
-// first (so a request arriving exactly at an iteration boundary can be
-// admitted by it), then stall completions, then background-solve
-// completions (so an instantaneous solve's plan is visible to iteration
-// ends at the same timestamp), then iteration completions.
+// Event kinds, in tie-break priority order at equal timestamps: scale-up
+// activations first (a replica going live at time T must be visible to
+// same-instant arrivals), then arrivals (so a request arriving exactly at an
+// iteration boundary can be admitted by it), then stall completions, then
+// background-solve completions (so an instantaneous solve's plan is visible
+// to iteration ends at the same timestamp), then iteration completions.
 const (
-	evArrival = iota
+	evScaleUp = iota
+	evArrival
 	evStallEnd
 	evSolveEnd
 	evIterEnd
@@ -340,6 +405,15 @@ type server struct {
 	// Oversubscription is zero). paths is the per-iteration routing scratch.
 	mems  []*expertmem.Manager
 	paths [][]int
+
+	// fl is the fleet tier (nil when Options.Fleet is nil — every fleet
+	// branch below is gated on it so the nil path stays bit-identical).
+	// memCfg is retained so scale-ups can build fresh memory managers, and
+	// curPl tracks the fleet's placement lineage for replicas activated
+	// outside a rollout.
+	fl     *fleetState
+	memCfg expertmem.Config
+	curPl  *placement.Placement
 
 	// tr/met are the observability hooks (nil / zero when off).
 	tr  *obs.Tracer
@@ -403,24 +477,40 @@ func Run(opts Options) (*Report, error) {
 		met:    newServeMetrics(opts.Metrics),
 	}
 	s.ctrl = newController(&s.opts, s.window, poolCounts(opts.BaselineCounts, opts.Placement.Experts))
+	s.curPl = opts.Placement
 	for _, p := range opts.Phases {
 		s.routers = append(s.routers, synth.NewKernelRouter(opts.Kernel, p.Dataset, opts.TopK))
 	}
-	for r := 0; r < opts.Replicas; r++ {
-		s.replicas = append(s.replicas, &replica{id: r, pl: opts.Placement.Clone()})
+	// With an autoscaling fleet the replica slice holds every slot the spec
+	// could ever commit; slots beyond the initial Replicas start dark.
+	slots := opts.Replicas
+	if opts.Fleet != nil {
+		s.fl = newFleetState(&s.opts)
+		if s.fl.spec.Autoscaling() && s.fl.spec.MaxReplicas > slots {
+			slots = s.fl.spec.MaxReplicas
+		}
+	}
+	for r := 0; r < slots; r++ {
+		s.replicas = append(s.replicas, &replica{id: r, pl: opts.Placement.Clone(), live: r < opts.Replicas})
 	}
 	if opts.Oversubscription > 0 {
 		pol, err := expertmem.ParsePolicy(opts.CachePolicy)
 		if err != nil {
 			return nil, err
 		}
-		mcfg := expertmem.ConfigFor(opts.Topo, layers, opts.Placement.Experts, opts.ExpertBytes,
+		s.memCfg = expertmem.ConfigFor(opts.Topo, layers, opts.Placement.Experts, opts.ExpertBytes,
 			opts.Oversubscription, pol, opts.PrefetchK, opts.HostSlots, opts.BaselineCounts)
+		if s.fl != nil && s.fl.spec.SharedHostCache {
+			// The shared node tier replaces each replica's private static
+			// DRAM/NVMe split: one popularity-ranked master working set for
+			// the whole node, seeded from the same affinity oracle.
+			oracle := expertmem.New(s.memCfg)
+			s.fl.cache = fleet.NewHostCache(layers, opts.Placement.Experts, opts.HostSlots,
+				opts.Topo.NVMePath().Time(opts.ExpertBytes), oracle.Popularity)
+		}
+		s.mems = make([]*expertmem.Manager, len(s.replicas))
 		for r := 0; r < opts.Replicas; r++ {
-			mem := expertmem.New(mcfg)
-			mem.Warm(opts.Placement.Assign)
-			mem.Instrument(opts.Trace, opts.Metrics, r)
-			s.mems = append(s.mems, mem)
+			s.mems[r] = s.newMem(r, opts.Placement.Assign)
 		}
 		// The controller must price residency churn, not just parameter
 		// copies: a migration invalidates the HBM copies of every moved
@@ -443,12 +533,24 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 
+	if s.fl != nil {
+		// A scale-up charges the time to copy one replica's per-GPU HBM
+		// working set over the host link (GPUs fill in parallel; the links
+		// are per-GPU).
+		perGPU := layers * opts.Placement.Experts / opts.Topo.TotalGPUs()
+		if opts.Oversubscription > 0 && s.memCfg.SlotsPerGPU < perGPU {
+			perGPU = s.memCfg.SlotsPerGPU
+		}
+		s.fl.warmup = opts.Topo.HostPath().Time(perGPU * opts.ExpertBytes)
+		s.sampleFleet(0)
+	}
+
 	// Pre-draw every arrival: phase by phase, deterministic in the seed.
 	ar := rng.New(rng.Mix64(opts.Seed, 0xA881))
 	start := 0.0
 	for pi, p := range opts.Phases {
 		for _, t := range generateArrivals(ar, p, start) {
-			s.arrivals = append(s.arrivals, &request{arrival: t, phase: pi, remaining: opts.DecodeTokens})
+			s.arrivals = append(s.arrivals, &request{arrival: t, phase: pi, remaining: opts.DecodeTokens, seq: len(s.arrivals)})
 		}
 		start += p.Duration
 	}
@@ -471,18 +573,30 @@ func Run(opts Options) (*Report, error) {
 			s.onStallEnd(e.t, s.replicas[e.rep])
 		case evSolveEnd:
 			s.onSolveEnd(e.t)
+		case evScaleUp:
+			s.onScaleUp(e.t, s.replicas[e.rep])
 		}
 	}
 	return s.buildReport(), nil
 }
 
-// onArrival admits a request to the least-loaded replica's queue.
+// onArrival admits a request to the least-loaded serving replica's queue,
+// after the fleet tier's admission control (when enabled) has priced it.
 func (s *server) onArrival(now float64, rq *request) {
-	best := s.replicas[0]
-	for _, r := range s.replicas[1:] {
-		if r.load() < best.load() {
+	if s.fl != nil && !s.fleetAdmit(now, rq) {
+		return
+	}
+	var best *replica
+	for _, r := range s.replicas {
+		if s.fl != nil && (!r.live || r.draining) {
+			continue
+		}
+		if best == nil || r.load() < best.load() {
 			best = r
 		}
+	}
+	if best == nil {
+		return // unreachable: replica 0 is never drained
 	}
 	rq.replica = best.id
 	best.queue = append(best.queue, rq)
@@ -516,9 +630,15 @@ func (s *server) onIterEnd(now float64, r *replica) {
 	s.decoded = append(s.decoded, tick{t: now, n: len(r.active)})
 	r.active = kept
 
+	if s.fl != nil {
+		s.maybeReconcile(now)
+		if r.draining && r.load() == 0 {
+			s.retireReplica(now, r)
+		}
+	}
 	s.maybeCheckDrift(now)
 
-	if s.pending != nil && s.pending.next == r.id && !r.stalled {
+	if s.pending != nil && s.pending.next == r.id && !r.stalled && r.live {
 		s.beginStall(now, r)
 		return
 	}
@@ -530,10 +650,21 @@ func (s *server) onIterEnd(now float64, r *replica) {
 func (s *server) onStallEnd(now float64, r *replica) {
 	r.stalled = false
 	if s.mems != nil {
+		moves := placement.Diff(r.pl, s.pending.newPl)
+		if s.fl != nil && s.fl.cache != nil && !s.pending.invalidated {
+			// Coherence: the migration rewrites the moved experts' canonical
+			// weights, so the node's shared master copies are stale the
+			// moment the first replica installs. Invalidate once; replicas
+			// refetch from NVMe on next demand.
+			s.pending.invalidated = true
+			for _, mv := range moves {
+				s.fl.cache.Invalidate(mv.Layer, mv.Expert)
+			}
+		}
 		// The parameter copy lands each moved expert on its new owner's HBM
 		// and invalidates the stale copy — the residency churn the
 		// controller priced into the pause.
-		for _, mv := range placement.Diff(r.pl, s.pending.newPl) {
+		for _, mv := range moves {
 			s.mems[r.id].Relocate(mv.Layer, mv.Expert, mv.From, mv.To, now)
 		}
 	}
@@ -542,19 +673,32 @@ func (s *server) onStallEnd(now float64, r *replica) {
 		s.tr.Emit(obs.Event{Kind: obs.EvInstall, Rep: int32(r.id), GPU: -1, Layer: -1, Expert: -1,
 			T: now, Aux: int64(s.pending.event.Moves)})
 	}
-	s.pending.next++
-	if s.pending.next >= len(s.replicas) {
-		s.pending.event.Completed = now
-		s.migrations = append(s.migrations, *s.pending.event)
+	s.advanceRollout(now)
+	s.start(now, r)
+}
+
+// advanceRollout passes the rolling-migration baton to the next live
+// replica, completing the migration when none remain. Dark fleet slots
+// (never activated, or retired) hold no parameters and are skipped; a
+// replica activated later adopts the migrated placement directly.
+func (s *server) advanceRollout(now float64) {
+	p := s.pending
+	p.next++
+	for p.next < len(s.replicas) && !s.replicas[p.next].live {
+		p.next++
+	}
+	if p.next >= len(s.replicas) {
+		p.event.Completed = now
+		s.migrations = append(s.migrations, *p.event)
 		s.met.migrations.Inc()
 		s.opts.Decisions.Logf(now, "migration-complete started=%.3fs pause/replica=%.3fms moves=%d",
-			s.pending.event.Time, s.pending.event.Seconds*1e3, s.pending.event.Moves)
+			p.event.Time, p.event.Seconds*1e3, p.event.Moves)
+		s.curPl = p.newPl
 		s.pending = nil
 		s.ctrl.finish(now)
-	} else if nxt := s.replicas[s.pending.next]; !nxt.running && !nxt.stalled {
+	} else if nxt := s.replicas[p.next]; !nxt.running && !nxt.stalled {
 		s.beginStall(now, nxt)
 	}
-	s.start(now, r)
 }
 
 // beginStall pauses a replica for the migration's parameter-copy time.
@@ -578,6 +722,16 @@ func (s *server) maybeCheckDrift(now float64) {
 		return
 	}
 	s.lastCheck = now
+	if s.fl != nil {
+		s.refreshFleetPricing(now)
+	}
+	if s.opts.StallTrigger {
+		// Feed the controller the recent charged stall rate so residency
+		// decay can fire a re-solve even when the routing mix looks stable.
+		if rate, ok := s.stallPerToken(now-4*s.opts.CheckInterval, now); ok {
+			s.ctrl.noteStall(rate)
+		}
+	}
 	// All replicas share placement lineage; score drift against replica 0's.
 	score, solve := s.ctrl.observe(now, s.replicas[0].pl, s.pending != nil || s.solving != nil)
 	s.driftT = append(s.driftT, now)
@@ -693,6 +847,9 @@ func (s *server) start(now float64, r *replica) {
 	}
 	s.fracT = append(s.fracT, now)
 	s.fracY = append(s.fracY, float64(cross)/total)
+	if s.fl != nil {
+		s.fl.fn, s.fl.fc = float64(node)/total, float64(cross)/total
+	}
 	s.iterations++
 	s.batchTotal += len(r.active)
 	s.met.iterations.Inc()

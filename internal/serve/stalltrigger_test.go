@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestServeStallTriggerFiresWithoutDrift: residency decay must be able to
+// launch a re-solve even when the drift detector is blind to it. The drift
+// threshold is set far above any attainable score, so every solve in the run
+// belongs to the stall trigger; the control run with the trigger off confirms
+// nothing else launches one.
+//
+// The traffic program exploits the stall model's shape: charged stall is the
+// per-layer max over GPUs of serialized distinct-miss fetches, so a
+// concentrated mix (viral) touches few distinct experts per iteration and
+// stalls LESS than a broad one (pile). Warming on viral therefore establishes
+// a low stall floor, and the shift to pile raises the observed rate above
+// factor*min without moving the drift score anywhere near the muzzled
+// threshold. The static pin policy keeps the hot set fixed so the rise is
+// purely traffic-driven, and the 4x oversubscription with heavyweight experts
+// makes the delta clear the trigger's absolute noise floor.
+func TestServeStallTriggerFiresWithoutDrift(t *testing.T) {
+	viral := synth.Custom("viral", []float64{0, 0, 0, 0, 1, 0}, 0xD81F)
+	opts, _ := testSystem(t)
+	opts.Adaptive = true
+	opts.Oversubscription = 4
+	opts.CachePolicy = "pin"
+	opts.ExpertBytes = 64 << 20
+	opts.MemoryAware = true
+	opts.DriftThreshold = 10 // unattainable: the detector never fires
+	rate := nearKneeRate(opts, 0.05, 0.2, 0.5)
+	opts.Phases = []Phase{
+		{Name: "warm", Duration: 3, Rate: rate, Dataset: viral},
+		{Name: "drift", Duration: 6, Rate: rate, Dataset: synth.Pile()},
+	}
+
+	off := opts
+	rep, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Solves != 0 || len(rep.Migrations) != 0 {
+		t.Fatalf("control run launched %d solves / %d migrations with both triggers off",
+			rep.Solves, len(rep.Migrations))
+	}
+
+	opts.StallTrigger = true
+	opts.StallTriggerFactor = 1.03
+	rep, err = Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The re-solve may be rejected by MinGain (the placement is already
+	// near-optimal for the broad mix), so the stable assertion is that the
+	// trigger launched solves at all; any that do apply must carry its name.
+	if rep.Solves == 0 {
+		t.Fatal("stall trigger never fired under residency decay")
+	}
+	for i, m := range rep.Migrations {
+		if m.Trigger != "stall" {
+			t.Errorf("migration %d trigger = %q, want \"stall\"", i, m.Trigger)
+		}
+	}
+}

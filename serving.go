@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/expertmem"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/serve"
@@ -108,9 +109,24 @@ type ServeOptions struct {
 	// price with: "static" (or empty — the top-Slots warm set) or "che"
 	// (Che-approximation fractional occupancy with prefetch-coverage
 	// discount); each MigrationEvent's PredictedStallDelta is computed with
-	// the selected model. Requires MemoryAware; static keeps re-solves
-	// bit-identical to previous releases.
+	// the selected model. Requires MemoryAware (or a fleet with paging
+	// admission, which prices requests with the same oracle); static keeps
+	// re-solves bit-identical to previous releases.
 	ResidencyModel string
+	// StallTrigger arms the stall-rate migration trigger: the controller
+	// also fires a re-solve when the charged expert-stall seconds per token
+	// trend up at a stable routing mix — residency decay the drift detector
+	// cannot see. Requires Adaptive and Oversubscription >= 1.
+	StallTrigger bool
+	// StallTriggerFactor is how far above its observed minimum the stall
+	// rate must rise before the trigger fires (default 1.5).
+	StallTriggerFactor float64
+	// Fleet enables the node-level fleet tier (internal/fleet): a shared
+	// host-DRAM master-copy cache across co-located replicas, a declarative
+	// reconciliation-loop autoscaler on the simulated clock, and
+	// admission control priced on predicted paging cost. Nil disables the
+	// tier; the serve path is then bit-identical to previous releases.
+	Fleet *FleetSpec
 	// Trace, when non-nil, records typed simulator events (admissions,
 	// iteration spans, per-layer expert stalls, prefetch traffic, solver
 	// lifecycle, migration pauses) into a bounded ring; export it with
@@ -179,6 +195,11 @@ func (o ServeOptions) Validate() error {
 		return fmt.Errorf("exflow: Oversubscription must be 0 (off) or >= 1, got %v", o.Oversubscription)
 	case o.HostSlots < 0:
 		return fmt.Errorf("exflow: HostSlots must be non-negative, got %d", o.HostSlots)
+	case o.Oversubscription == 0 && o.HostSlots > 0:
+		// Without the memory layer there is no host tier to bound; the option
+		// would silently do nothing, which almost always means the caller
+		// forgot Oversubscription.
+		return fmt.Errorf("exflow: HostSlots %d set but Oversubscription is 0 (memory layer disabled); set Oversubscription >= 1 or drop HostSlots", o.HostSlots)
 	case o.Oversubscription == 0 && o.CachePolicy != "":
 		// Rejected rather than silently ignored: a policy without the memory
 		// layer does nothing, which almost always means the caller meant to
@@ -186,10 +207,38 @@ func (o ServeOptions) Validate() error {
 		return fmt.Errorf("exflow: CachePolicy %q set but Oversubscription is 0 (memory layer disabled); set Oversubscription >= 1 or drop the policy", o.CachePolicy)
 	case o.Oversubscription == 0 && o.MemoryAware:
 		return fmt.Errorf("exflow: MemoryAware requires the tiered memory layer; set Oversubscription >= 1")
-	case o.ResidencyModel != "" && !o.MemoryAware:
-		// A residency model without the memory-aware objective prices
-		// nothing; rejected so the caller notices the missing flag.
+	case o.ResidencyModel != "" && !o.MemoryAware &&
+		!(o.Fleet != nil && o.Fleet.Admission == FleetAdmissionPaging):
+		// A residency model without a consumer prices nothing; rejected so
+		// the caller notices the missing flag. Paging admission is the one
+		// consumer besides MemoryAware.
 		return fmt.Errorf("exflow: ResidencyModel %q set but MemoryAware is off; enable MemoryAware or drop the model", o.ResidencyModel)
+	case o.StallTriggerFactor < 0:
+		return fmt.Errorf("exflow: StallTriggerFactor must be non-negative, got %v", o.StallTriggerFactor)
+	case o.StallTriggerFactor > 0 && !o.StallTrigger:
+		return fmt.Errorf("exflow: StallTriggerFactor set but StallTrigger is off; enable it or drop the factor")
+	case o.StallTrigger && o.Oversubscription == 0:
+		return fmt.Errorf("exflow: StallTrigger watches tiered-memory stalls; set Oversubscription >= 1")
+	case o.StallTrigger && !o.Adaptive:
+		return fmt.Errorf("exflow: StallTrigger requires the adaptive controller; enable Adaptive")
+	}
+	if o.Fleet != nil {
+		reps := o.Replicas
+		if reps == 0 {
+			reps = serve.DefaultReplicas
+		}
+		if err := o.Fleet.Validate(reps); err != nil {
+			return err
+		}
+		if o.Fleet.SharedHostCache && o.Oversubscription == 0 {
+			return fmt.Errorf("exflow: Fleet.SharedHostCache requires the tiered memory layer; set Oversubscription >= 1")
+		}
+		if o.Fleet.SharedHostCache && o.HostSlots == 0 {
+			return fmt.Errorf("exflow: Fleet.SharedHostCache without HostSlots is inert (every master fits in DRAM); set HostSlots or drop the shared cache")
+		}
+		if o.Fleet.Admission == FleetAdmissionPaging && o.Oversubscription == 0 {
+			return fmt.Errorf("exflow: Fleet paging admission prices tiered-memory stalls; set Oversubscription >= 1")
+		}
 	}
 	if o.Oversubscription > 0 {
 		if _, err := expertmem.ParsePolicy(o.CachePolicy); err != nil {
@@ -219,6 +268,21 @@ func (o ServeOptions) Validate() error {
 
 // ServeReport is the outcome of a serving run (see internal/serve.Report).
 type ServeReport = serve.Report
+
+// FleetSpec declares the fleet tier's desired state (see internal/fleet):
+// shared host-DRAM master cache, autoscaler bounds and cadences, and the
+// admission policy. FleetReport is its run summary (ServeReport.Fleet).
+type (
+	FleetSpec   = fleet.Spec
+	FleetReport = fleet.Report
+)
+
+// FleetAdmissionQueue and FleetAdmissionPaging name the fleet tier's
+// admission policies: the queue-depth baseline and the paging-cost pricer.
+const (
+	FleetAdmissionQueue  = fleet.AdmissionQueue
+	FleetAdmissionPaging = fleet.AdmissionPaging
+)
 
 // ServeMetrics bundles what Serve derived before simulating: the fitted
 // iteration-cost model and the capacity planning numbers.
@@ -299,39 +363,42 @@ func Serve(sys *System, opts ServeOptions) (*ServeReport, *ServeMetrics, error) 
 	}
 
 	rep, err := serve.Run(serve.Options{
-		Topo:              sys.Topo,
-		Kernel:            sys.Kernel,
-		TopK:              sys.Model.Cfg.TopK,
-		Placement:         cal.Placement,
-		BaselineCounts:    cal.Trace.AllTransitionCounts(),
-		Cost:              met.Cost,
-		ExpertBytes:       int(sys.Model.Cfg.ExpertParams()) * 2, // fp16
-		Replicas:          opts.Replicas,
-		MaxBatch:          opts.MaxBatch,
-		DecodeTokens:      opts.DecodeTokens,
-		Phases:            sphases,
-		Adaptive:          opts.Adaptive,
-		Window:            opts.Window,
-		CheckInterval:     opts.CheckInterval,
-		DriftThreshold:    cal.DriftThreshold,
-		Patience:          opts.Patience,
-		Cooldown:          opts.Cooldown,
-		MinGain:           opts.MinGain,
-		SolveSeconds:      opts.SolveSeconds,
-		SolveWorkers:      opts.SolveWorkers,
-		Oversubscription:  opts.Oversubscription,
-		CachePolicy:       opts.CachePolicy,
-		PrefetchK:         opts.PrefetchK,
-		HostSlots:         opts.HostSlots,
-		MemoryAware:       opts.MemoryAware,
-		ResidencyModel:    opts.ResidencyModel,
-		LatencyBucket:     opts.LatencyBucket,
-		Seed:              seed,
-		Trace:             opts.Trace,
-		Metrics:           opts.Metrics,
-		Decisions:         opts.Decisions,
-		AutoSolveSeconds:  opts.AutoSolveSeconds,
-		SolveSecondsPrior: prior,
+		Topo:               sys.Topo,
+		Kernel:             sys.Kernel,
+		TopK:               sys.Model.Cfg.TopK,
+		Placement:          cal.Placement,
+		BaselineCounts:     cal.Trace.AllTransitionCounts(),
+		Cost:               met.Cost,
+		ExpertBytes:        int(sys.Model.Cfg.ExpertParams()) * 2, // fp16
+		Replicas:           opts.Replicas,
+		MaxBatch:           opts.MaxBatch,
+		DecodeTokens:       opts.DecodeTokens,
+		Phases:             sphases,
+		Adaptive:           opts.Adaptive,
+		Window:             opts.Window,
+		CheckInterval:      opts.CheckInterval,
+		DriftThreshold:     cal.DriftThreshold,
+		Patience:           opts.Patience,
+		Cooldown:           opts.Cooldown,
+		MinGain:            opts.MinGain,
+		SolveSeconds:       opts.SolveSeconds,
+		SolveWorkers:       opts.SolveWorkers,
+		Oversubscription:   opts.Oversubscription,
+		CachePolicy:        opts.CachePolicy,
+		PrefetchK:          opts.PrefetchK,
+		HostSlots:          opts.HostSlots,
+		MemoryAware:        opts.MemoryAware,
+		ResidencyModel:     opts.ResidencyModel,
+		StallTrigger:       opts.StallTrigger,
+		StallTriggerFactor: opts.StallTriggerFactor,
+		Fleet:              opts.Fleet,
+		LatencyBucket:      opts.LatencyBucket,
+		Seed:               seed,
+		Trace:              opts.Trace,
+		Metrics:            opts.Metrics,
+		Decisions:          opts.Decisions,
+		AutoSolveSeconds:   opts.AutoSolveSeconds,
+		SolveSecondsPrior:  prior,
 	})
 	if err != nil {
 		return nil, nil, err
