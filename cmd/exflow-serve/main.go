@@ -7,6 +7,7 @@
 //	exflow-serve -drift             # mid-run dataset drift: static vs adaptive
 //	exflow-serve -drift -arrival bursty -load 0.95 -gpus 32
 //	exflow-serve -oversub           # tiered expert memory: policy x ratio sweep
+//	exflow-serve -scenarios         # chaos scenario matrix with pass/fail gates
 //
 // With -drift the command serves the same two-phase traffic program twice —
 // once with the static offline ExFlow placement and once with the adaptive
@@ -121,6 +122,8 @@ func main() {
 		drift       = flag.Bool("drift", false, "inject a mid-run dataset drift and compare static vs adaptive")
 		oversub     = flag.Bool("oversub", false, "sweep tiered expert-weight memory: cache policies x oversubscription ratios, write BENCH_expertmem.json")
 		fleetBench  = flag.Bool("fleet", false, "drive the fleet tier through a flash crowd: shared host cache vs independent, paging vs queue-depth admission, autoscaler on/off; write BENCH_fleet.json")
+		scenarios   = flag.Bool("scenarios", false, "run the declarative chaos scenario matrix (crash/recovery, degraded links, retry exhaustion, autoscaler faults) with per-row pass/fail gates; write BENCH_scenarios.json and exit nonzero on any failing row")
+		scale       = flag.String("scale", "bench", "with -scenarios: matrix scale, smoke (short eras, loose recovery gates — the CI quick pass) | bench (the checked-in matrix, tight gates)")
 		memaware    = flag.Bool("memaware", false, "with -oversub: add a memory-aware-placement arm per ratio (expert-stall cost folded into the solver objective) and compare against crossing-only")
 		residency   = flag.String("residency", "static", "residency model for memory-aware placement objectives: static | che; with -oversub, 'che' runs per-ratio adaptive drift arms under both models and records each one's predicted-vs-realized stall gap (the steady -memaware arm always solves with static so its cells stay comparable across runs)")
 		hostSlots   = flag.Int("hostslots", 0, "with -oversub: bound host-DRAM expert master copies per replica; coldest experts fall to NVMe (0 = all fit in DRAM)")
@@ -143,6 +146,21 @@ func main() {
 		decisionOut = flag.String("decisionlog", "", "write the adaptive run's controller decision log (human-readable) to this path")
 	)
 	flag.Parse()
+
+	if *scenarios {
+		// The matrix runs over its own fixed synthetic fixture (no engine,
+		// no model preset): the rows exist to gate fault-handling invariants,
+		// not to benchmark a particular checkpoint. -json defaults to
+		// BENCH_scenarios.json here, honoring an explicit value.
+		path := "BENCH_scenarios.json"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "json" {
+				path = *jsonPath
+			}
+		})
+		runScenarioMatrix(*scale, *seed, path)
+		return
+	}
 
 	mk, ok := models[*model]
 	if !ok {

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// runScenarioMatrix drives the declarative chaos scenario matrix
+// (internal/scenario) and writes the machine-readable summary. The process
+// exits nonzero if any row fails its gate, so CI can run this directly.
+func runScenarioMatrix(scale string, seed uint64, jsonPath string) {
+	fmt.Printf("chaos scenario matrix: %s scale, seed %d\n", scale, seed)
+	sum, err := scenario.RunAll(scenario.Config{Seed: seed, Scale: scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+		os.Exit(1)
+	}
+	for _, r := range sum.Scenarios {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("  %-4s %-26s %-7s %-3s %s\n", status, r.ID, r.Category, r.Priority, r.Notes)
+	}
+	blob, err := sum.Marshal()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+		os.Exit(1)
+	}
+	if jsonPath != "-" {
+		if err := obs.WriteFileAtomic(jsonPath, blob); err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if !sum.AllPass {
+		fmt.Fprintln(os.Stderr, "exflow-serve: scenario matrix failed its gates")
+		os.Exit(1)
+	}
+}

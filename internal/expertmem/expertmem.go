@@ -162,6 +162,12 @@ type shard struct {
 	used       int // entries occupying slots (resident or in flight)
 	linkFreeAt float64
 	stats      Stats
+	// hasSpec marks that the transfer currently occupying the link (through
+	// specUntil) is the speculative fetch of specKey — the one preemptible
+	// DMA may cancel for a demand miss.
+	hasSpec   bool
+	specKey   key
+	specUntil float64
 }
 
 // Stats counts one shard's (or, aggregated, one manager's) activity.
@@ -195,6 +201,15 @@ type Stats struct {
 	// node-level cache missed.
 	NVMeFetches int
 	NVMeSeconds float64
+	// Chaos fetch-model counters (all zero unless a chaos schedule arms the
+	// fetch path): retry attempts issued after a stall timeout, attempts
+	// abandoned at the timeout, demand fetches that exhausted their retries,
+	// and speculative transfers cancelled by demand fetches under preemptible
+	// DMA.
+	FetchRetries  int
+	FetchTimeouts int
+	FetchFailures int
+	Preemptions   int
 }
 
 // HitRate is the fraction of demand accesses served with zero stall.
@@ -231,6 +246,10 @@ func (s *Stats) Add(o Stats) {
 	s.BytesFetched += o.BytesFetched
 	s.NVMeFetches += o.NVMeFetches
 	s.NVMeSeconds += o.NVMeSeconds
+	s.FetchRetries += o.FetchRetries
+	s.FetchTimeouts += o.FetchTimeouts
+	s.FetchFailures += o.FetchFailures
+	s.Preemptions += o.Preemptions
 }
 
 // String renders a compact summary.
@@ -258,6 +277,14 @@ type Manager struct {
 	// manager's replica id there.
 	hostTier HostTier
 	tierRep  int
+
+	// Chaos fetch-model hooks (see SetLinkScale / SetFetchRetry /
+	// SetPreemptibleDMA); the zero values leave the fetch model untouched.
+	linkScale func(float64) float64
+	ftTimeout float64
+	ftRetries int
+	ftBackoff float64
+	preempt   bool
 
 	// Observability (see Instrument); zero values are the no-op fast path.
 	tr  *obs.Tracer
@@ -325,6 +352,34 @@ func (m *Manager) releaseMaster(layer, expert int) {
 	if m.hostTier != nil {
 		m.hostTier.Release(m.tierRep, layer, expert)
 	}
+}
+
+// SetLinkScale installs a host/NVMe bandwidth-degradation hook: every fetch
+// starting at simulated time t runs fn(t) times slower (fn returns 1 outside
+// degraded windows; see chaos.Schedule.LinkFactor). Call before Instrument.
+func (m *Manager) SetLinkScale(fn func(now float64) float64) { m.linkScale = fn }
+
+// SetFetchRetry arms the demand-fetch stall-timeout model: a demand transfer
+// that would run longer than timeout seconds is abandoned at the timeout and
+// re-issued after backoff idle seconds (doubling per attempt), up to retries
+// retries; a fetch that exhausts them fails and AccessChecked reports it.
+// Retries re-resolve the master-copy tier, so a first attempt that paid the
+// NVMe hop (and thereby populated host DRAM) can succeed on retry from DRAM.
+// Speculative prefetches are never retried. Call before Instrument.
+func (m *Manager) SetFetchRetry(timeout float64, retries int, backoff float64) {
+	m.ftTimeout = timeout
+	m.ftRetries = retries
+	m.ftBackoff = backoff
+}
+
+// SetPreemptibleDMA lets a demand miss cancel the speculative transfer
+// occupying its GPU's host link and start immediately, instead of queueing
+// FIFO behind speculation. Call before Instrument.
+func (m *Manager) SetPreemptibleDMA(on bool) { m.preempt = on }
+
+// chaosArmed reports whether any chaos fetch-model hook is installed.
+func (m *Manager) chaosArmed() bool {
+	return m.linkScale != nil || m.ftTimeout > 0 || m.preempt
 }
 
 // Oversubscribed reports whether the HBM budget is actually binding: when
@@ -451,7 +506,19 @@ func (m *Manager) FetchSeconds(layer, expert int) float64 {
 // budget, modeling the deployment-time weight load. assign[layer][expert]
 // is the owning GPU (a placement's Assign tensor). Under a pinning policy
 // the preloaded set is immovable.
-func (m *Manager) Warm(assign [][]int) {
+func (m *Manager) Warm(assign [][]int) { m.warm(assign, false, 0) }
+
+// WarmCharged is Warm with the crash-recovery cost model: every preloaded
+// expert's master copy is re-fetched through the tier at simulated time now
+// (the crash dropped the replica's host-cache references, so some masters
+// must come back from NVMe). It returns the extra simulated seconds the
+// slowest GPU's preload pays beyond the plain host-link parameter copy —
+// the re-warm surcharge the recovery timeline must absorb.
+func (m *Manager) WarmCharged(assign [][]int, now float64) float64 {
+	return m.warm(assign, true, now)
+}
+
+func (m *Manager) warm(assign [][]int, charged bool, now float64) float64 {
 	pin := m.policy.Pin()
 	type cand struct {
 		k   key
@@ -464,6 +531,7 @@ func (m *Manager) Warm(assign [][]int) {
 			perGPU[g] = append(perGPU[g], cand{key{l, e}, m.popularity[l*m.cfg.Experts+e]})
 		}
 	}
+	maxExtra := 0.0
 	for g, cands := range perGPU {
 		sort.SliceStable(cands, func(a, b int) bool {
 			if cands[a].pop != cands[b].pop {
@@ -475,6 +543,7 @@ func (m *Manager) Warm(assign [][]int) {
 			return cands[a].k.expert < cands[b].k.expert
 		})
 		s := m.shards[g]
+		gpuExtra := 0.0
 		for _, c := range cands {
 			if s.used >= m.cfg.SlotsPerGPU {
 				break
@@ -484,9 +553,30 @@ func (m *Manager) Warm(assign [][]int) {
 				resident: true, pinned: pin, pop: c.pop,
 			}
 			s.used++
+			if charged {
+				var hop float64
+				if m.hostTier != nil {
+					hop = m.hostTier.FetchMaster(m.tierRep, c.k.layer, c.k.expert, now)
+				} else if m.hostOnNVMe != nil && m.hostOnNVMe[c.k.layer*m.cfg.Experts+c.k.expert] {
+					hop = m.nvmeTime
+				}
+				if hop > 0 {
+					s.stats.NVMeFetches++
+					s.stats.NVMeSeconds += hop
+				}
+				if m.linkScale != nil {
+					hop *= m.linkScale(now)
+				}
+				gpuExtra += hop
+			}
 			m.retainMaster(c.k.layer, c.k.expert)
 		}
+		if gpuExtra > maxExtra {
+			// GPUs preload in parallel; the recovery waits for the slowest.
+			maxExtra = gpuExtra
+		}
 	}
+	return maxExtra
 }
 
 // Access is a demand access to expert (layer, expert) on the given GPU at
@@ -495,12 +585,21 @@ func (m *Manager) Warm(assign [][]int) {
 // host-link channel; if no slot can be freed the transfer streams through
 // without caching.
 func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
+	stall, _ := m.AccessChecked(gpu, layer, expert, now)
+	return stall
+}
+
+// AccessChecked is Access plus the fetch failure signal: ok is false when the
+// demand fetch exhausted its chaos retry budget (SetFetchRetry), in which
+// case the weights never arrive and the caller must shed the work that
+// needed them. Without an armed retry model ok is always true.
+func (m *Manager) AccessChecked(gpu, layer, expert int, now float64) (stall float64, ok bool) {
 	s := m.shards[gpu]
 	s.stats.Accesses++
 	if !m.Oversubscribed() {
 		s.stats.Hits++
 		m.met.hits.Inc()
-		return 0
+		return 0, true
 	}
 	k := key{layer, expert}
 	if e := s.entries[k]; e != nil {
@@ -515,6 +614,11 @@ func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
 				m.met.hits.Inc()
 			}
 			e.resident = true
+			if s.hasSpec && s.specKey == k {
+				// The speculative transfer is now demand-owned; preempting
+				// it would stall the very access it serves.
+				s.hasSpec = false
+			}
 		} else {
 			s.stats.Hits++
 			m.met.hits.Inc()
@@ -532,18 +636,36 @@ func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
 		e.lastUse = now + stall
 		s.stats.StallSeconds += stall
 		m.met.stallSeconds.Add(stall)
-		return stall
+		return stall, true
 	}
-	// Miss: fetch over the serialized host link. The entry is installed
-	// in flight (resident only once readyAt passes) so a same-instant
-	// eviction scan cannot drop a transfer that is still on the link; the
-	// next access flips it resident.
+	// Miss: fetch over the serialized host link. Under preemptible DMA a
+	// speculative transfer holding the link yields it first: the in-flight
+	// prefetch is cancelled (slot freed, master reference released) and the
+	// demand transfer starts immediately instead of queueing behind it.
 	s.stats.Misses++
 	m.met.misses.Inc()
-	ready, xfer := m.issueFetch(s, k, now)
-	stall := ready - now
+	if m.preempt && s.hasSpec && s.linkFreeAt > now && s.specUntil == s.linkFreeAt {
+		if e := s.entries[s.specKey]; e != nil && e.prefetched && !e.resident {
+			delete(s.entries, s.specKey)
+			s.used--
+			m.releaseMaster(s.specKey.layer, s.specKey.expert)
+			s.stats.Preemptions++
+			m.met.preemptions.Inc()
+			if m.tr != nil {
+				m.tr.Emit(obs.Event{Kind: obs.EvPreempt, Rep: m.rep, GPU: int32(gpu),
+					Layer: int32(s.specKey.layer), Expert: int32(s.specKey.expert), T: now})
+			}
+			s.linkFreeAt = now
+		}
+		s.hasSpec = false
+	}
+	ready, xfer, fetched := m.issueDemandFetch(s, k, now)
+	stall = ready - now
 	s.stats.StallSeconds += stall
 	m.met.stallSeconds.Add(stall)
+	if !fetched {
+		return stall, false
+	}
 	m.met.fetchSeconds.Observe(xfer)
 	if m.tr != nil {
 		m.tr.Emit(obs.Event{Kind: obs.EvFetch, Rep: m.rep, GPU: int32(gpu),
@@ -560,7 +682,7 @@ func (m *Manager) Access(gpu, layer, expert int, now float64) float64 {
 		s.stats.Bypasses++
 		m.met.bypasses.Inc()
 	}
-	return stall
+	return stall, true
 }
 
 // Prefetch speculatively fetches (layer, expert) into the GPU's HBM at
@@ -595,6 +717,9 @@ func (m *Manager) Prefetch(gpu, layer, expert int, now float64) {
 	}
 	s.used++
 	m.retainMaster(layer, expert)
+	s.hasSpec = true
+	s.specKey = k
+	s.specUntil = ready
 	s.stats.Prefetches++
 	m.met.prefetches.Inc()
 	if m.tr != nil {
@@ -622,13 +747,9 @@ func (m *Manager) issueFetch(s *shard, k key, now float64) (ready, xfer float64)
 	if s.linkFreeAt > start {
 		start = s.linkFreeAt
 	}
-	xfer = m.hostTime
-	if m.hostTier != nil {
-		xfer += m.hostTier.FetchMaster(m.tierRep, k.layer, k.expert, now)
-	} else if m.hostOnNVMe != nil && m.hostOnNVMe[k.layer*m.cfg.Experts+k.expert] {
-		xfer += m.nvmeTime
-	}
-	if extra := xfer - m.hostTime; extra > 0 {
+	var extra float64
+	xfer, extra = m.fetchCost(k, now, start)
+	if extra > 0 {
 		s.stats.NVMeFetches++
 		s.stats.NVMeSeconds += extra
 	}
@@ -637,6 +758,81 @@ func (m *Manager) issueFetch(s *shard, k key, now float64) (ready, xfer float64)
 	s.stats.BytesFetched += int64(m.cfg.ExpertBytes)
 	m.met.bytesFetched.Add(float64(m.cfg.ExpertBytes))
 	return ready, xfer
+}
+
+// fetchCost prices one expert transfer: the host-link hop plus the
+// master-copy hop (shared tier or static split, resolved at masterAt), the
+// whole thing stretched by the degraded-link factor in force when the
+// transfer starts. extra is the unscaled master-copy hop for NVMe stats.
+func (m *Manager) fetchCost(k key, masterAt, start float64) (xfer, extra float64) {
+	if m.hostTier != nil {
+		extra = m.hostTier.FetchMaster(m.tierRep, k.layer, k.expert, masterAt)
+	} else if m.hostOnNVMe != nil && m.hostOnNVMe[k.layer*m.cfg.Experts+k.expert] {
+		extra = m.nvmeTime
+	}
+	xfer = m.hostTime + extra
+	if m.linkScale != nil {
+		xfer *= m.linkScale(start)
+	}
+	return xfer, extra
+}
+
+// issueDemandFetch is issueFetch with the chaos stall-timeout model: each
+// attempt whose transfer would overrun the timeout is abandoned (the link is
+// held for the timeout window) and re-issued after backoff; the retry
+// re-prices the master hop, so it can succeed where the first attempt could
+// not (DRAM now warm, or a degrade window that ended). ok=false means the
+// fetch exhausted its retries; ready is then the give-up time.
+func (m *Manager) issueDemandFetch(s *shard, k key, now float64) (ready, xfer float64, ok bool) {
+	if m.ftTimeout <= 0 {
+		ready, xfer = m.issueFetch(s, k, now)
+		return ready, xfer, true
+	}
+	start := now
+	if s.linkFreeAt > start {
+		start = s.linkFreeAt
+	}
+	for attempt := 0; ; attempt++ {
+		var extra float64
+		xfer, extra = m.fetchCost(k, start, start)
+		if xfer <= m.ftTimeout {
+			if extra > 0 {
+				s.stats.NVMeFetches++
+				s.stats.NVMeSeconds += extra
+			}
+			ready = start + xfer
+			s.linkFreeAt = ready
+			s.stats.BytesFetched += int64(m.cfg.ExpertBytes)
+			m.met.bytesFetched.Add(float64(m.cfg.ExpertBytes))
+			return ready, xfer, true
+		}
+		// Abandoned at the timeout: the link was occupied (and the partial
+		// transfer's bytes moved) for the full timeout window.
+		s.stats.FetchTimeouts++
+		m.met.fetchTimeouts.Inc()
+		s.linkFreeAt = start + m.ftTimeout
+		if attempt >= m.ftRetries {
+			s.stats.FetchFailures++
+			m.met.fetchFailures.Inc()
+			return s.linkFreeAt, 0, false
+		}
+		s.stats.FetchRetries++
+		m.met.fetchRetries.Inc()
+		if m.tr != nil {
+			m.tr.Emit(obs.Event{Kind: obs.EvFetchRetry, Rep: m.rep, GPU: int32(s.gpu),
+				Layer: int32(k.layer), Expert: int32(k.expert), T: s.linkFreeAt, Aux: int64(attempt + 1)})
+		}
+		start = s.linkFreeAt + m.backoff(attempt+1)
+	}
+}
+
+// backoff is the idle wait before retry attempt (1-based), doubling each time.
+func (m *Manager) backoff(attempt int) float64 {
+	b := m.ftBackoff
+	for i := 1; i < attempt; i++ {
+		b *= 2
+	}
+	return b
 }
 
 // freeSlot ensures the shard has a free slot, evicting a policy-chosen

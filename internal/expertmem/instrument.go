@@ -14,6 +14,11 @@ type memMetrics struct {
 	hits, lateHits, misses, bypasses *obs.Counter
 
 	evictions, prefetches, prefetchHits, wastedPrefetches, prefetchDrops *obs.Counter
+
+	// Chaos fetch-model counters; registered only when a chaos hook is
+	// installed (SetLinkScale / SetFetchRetry / SetPreemptibleDMA), so
+	// fault-free runs keep exactly today's exported metric name set.
+	fetchRetries, fetchTimeouts, fetchFailures, preemptions *obs.Counter
 }
 
 // Prefetch-drop reasons, carried in EvPrefetchDrop's Aux field.
@@ -52,5 +57,11 @@ func (m *Manager) Instrument(tr *obs.Tracer, reg *obs.Registry, rep int) {
 		prefetchHits:     reg.Counter("expertmem_prefetch_hits_total"),
 		wastedPrefetches: reg.Counter("expertmem_wasted_prefetches_total"),
 		prefetchDrops:    reg.Counter("expertmem_prefetch_drops_total"),
+	}
+	if m.chaosArmed() {
+		m.met.fetchRetries = reg.Counter("expertmem_fetch_retries_total")
+		m.met.fetchTimeouts = reg.Counter("expertmem_fetch_timeouts_total")
+		m.met.fetchFailures = reg.Counter("expertmem_fetch_failures_total")
+		m.met.preemptions = reg.Counter("expertmem_preemptions_total")
 	}
 }

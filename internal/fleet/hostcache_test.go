@@ -173,6 +173,69 @@ func TestHostCacheInvalidate(t *testing.T) {
 	}
 }
 
+// Crash coherence: a replica crash releases its references exactly like a
+// retirement (serve calls ReleaseReplica from the crash path), and the shared
+// DRAM tier must stay coherent for the survivors and the later re-warm.
+
+func TestHostCacheCrashReleaseRewarm(t *testing.T) {
+	c := NewHostCache(1, 8, 3, 1e-3, popRank(8))
+	c.Retain(0, 0, 7)
+	c.Retain(1, 0, 7)
+	c.Retain(1, 0, 6)
+	// Replica 1 crashes: its HBM copies are gone, so its references drop —
+	// without disturbing the survivor's refs or the DRAM residency itself.
+	c.ReleaseReplica(1)
+	e := c.entries[c.key(0, 7)]
+	if e.total != 1 || e.refs[0] != 1 {
+		t.Fatalf("crash release broke survivor refs: %v total %d, want {0:1} total 1", e.refs, e.total)
+	}
+	if e6 := c.entries[c.key(0, 6)]; e6.total != 0 || len(e6.refs) != 0 {
+		t.Fatalf("crashed replica's sole ref survived: %v total %d", e6.refs, e6.total)
+	}
+	if !c.Resident(0, 7) || !c.Resident(0, 6) {
+		t.Fatal("crash release must not evict DRAM masters (refs are bookkeeping, not pins)")
+	}
+	// Recovery re-warm: the recovered replica fetches through the cache again
+	// — a DRAM hit, the whole point of the shared tier surviving the crash —
+	// and re-registers its references.
+	if extra := c.FetchMaster(1, 0, 7, 5.0); extra != 0 {
+		t.Fatalf("re-warm fetch of a DRAM-resident master cost %v, want 0", extra)
+	}
+	c.Retain(1, 0, 7)
+	if e.total != 2 || e.refs[1] != 1 {
+		t.Fatalf("re-warm did not re-register: %v total %d, want {0:1 1:1} total 2", e.refs, e.total)
+	}
+}
+
+func TestHostCacheCrashReleaseIdempotent(t *testing.T) {
+	// Crash then retirement firing on the same replica id: the second
+	// ReleaseReplica must be a no-op, not an underflow.
+	c := NewHostCache(1, 8, 3, 1e-3, popRank(8))
+	c.Retain(1, 0, 7)
+	c.ReleaseReplica(1)
+	c.ReleaseReplica(1)
+	if e := c.entries[c.key(0, 7)]; e.total != 0 || len(e.refs) != 0 {
+		t.Fatalf("double release corrupted refs: %v total %d", e.refs, e.total)
+	}
+}
+
+func TestHostCacheCrashPreservesEvictionOrder(t *testing.T) {
+	// Dropping a crashed replica's refs must not perturb the deterministic
+	// eviction order: at equal recency the victim is still the least popular
+	// entry, referenced-before-crash or not.
+	c := NewHostCache(1, 8, 3, 1e-3, popRank(8))
+	c.Retain(1, 0, 5)
+	c.Retain(1, 0, 7)
+	c.ReleaseReplica(1)
+	c.FetchMaster(0, 0, 1, 1.0) // cold insert forces one eviction
+	if c.Resident(0, 5) {
+		t.Error("expert 5 (lowest popularity at equal recency) should have been evicted")
+	}
+	if !c.Resident(0, 7) || !c.Resident(0, 6) || !c.Resident(0, 1) {
+		t.Error("eviction order perturbed by crash release")
+	}
+}
+
 func TestCacheStatsString(t *testing.T) {
 	s := CacheStats{DRAMHits: 2, NVMeFetches: 1, NVMeSeconds: 0.5, Evictions: 3, Invalidations: 4}
 	want := "hostcache: 2 DRAM hits, 1 NVMe fetches (0.500s), 3 evictions, 4 invalidations"

@@ -78,8 +78,21 @@ const (
 	// EvFleetSize samples the committed (live + warming) replica count
 	// (Value). Rendered as a Perfetto counter track.
 	EvFleetSize
+	// EvCrash / EvRecover are injected replica faults (internal/chaos): the
+	// crash instant (Aux is the replica id, Value the requests re-dispatched)
+	// and the replica serving again (Value is the downtime in seconds).
+	EvCrash
+	EvRecover
+	// EvLinkDegrade is one scheduled degraded-host-link window as a span
+	// (Value is the bandwidth slowdown factor).
+	EvLinkDegrade
+	// EvFetchRetry is one fetch attempt abandoned at the stall timeout and
+	// re-issued after backoff (Aux is the attempt number); EvPreempt is a
+	// speculative transfer cancelled by a demand fetch under preemptible DMA.
+	EvFetchRetry
+	EvPreempt
 
-	numEventKinds = int(EvFleetSize) + 1
+	numEventKinds = int(EvPreempt) + 1
 )
 
 // String names the kind as it appears in exported traces.
@@ -129,6 +142,16 @@ func (k EventKind) String() string {
 		return "defer"
 	case EvFleetSize:
 		return "fleet-size"
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	case EvLinkDegrade:
+		return "link-degrade"
+	case EvFetchRetry:
+		return "fetch-retry"
+	case EvPreempt:
+		return "preempt"
 	default:
 		return "unknown"
 	}
@@ -150,6 +173,11 @@ var highVolume = [numEventKinds]bool{
 	EvPrefetchDrop:  true,
 	EvShed:          true,
 	EvDefer:         true,
+	// Fetch retries and preemptions ride the per-fetch path and scale with
+	// traffic; crash/recover/degrade events are control-plane and never
+	// thinned.
+	EvFetchRetry: true,
+	EvPreempt:    true,
 }
 
 // Event is one recorded occurrence on the simulated clock. It is a flat

@@ -74,6 +74,7 @@ func (s *server) newMem(r int, assign [][]int) *expertmem.Manager {
 	if s.fl != nil && s.fl.cache != nil {
 		mem.SetHostTier(s.fl.cache, r)
 	}
+	s.applyChaosHooks(mem)
 	mem.Warm(assign)
 	mem.Instrument(s.opts.Trace, s.opts.Metrics, r)
 	return mem
@@ -212,13 +213,21 @@ func (s *server) fleetAdmit(now float64, rq *request) bool {
 			backlog += a.remaining
 		}
 	}
-	switch fl.spec.Admit(fleet.AdmissionInput{
+	in := fleet.AdmissionInput{
 		Queued: queued, Live: live,
 		BacklogTokens: backlog,
 		TokensPerSec:  s.fleetTokensPerSec(live),
 		DecodeSeconds: float64(s.opts.DecodeTokens) * s.fleetIterSeconds(),
 		Defers:        rq.defers,
-	}) {
+	}
+	// The priced wait the paging policy weighs against the SLO (zero for the
+	// queue policy, whose threshold is a depth) — narrated on every defer and
+	// shed so the decision log shows the arithmetic, not just the verdict.
+	waitEst := 0.0
+	if in.TokensPerSec > 0 {
+		waitEst = float64(in.BacklogTokens)/in.TokensPerSec + in.DecodeSeconds
+	}
+	switch fl.spec.Admit(in) {
 	case fleet.Defer:
 		rq.defers++
 		fl.deferred++
@@ -227,6 +236,8 @@ func (s *server) fleetAdmit(now float64, rq *request) bool {
 			s.tr.Emit(obs.Event{Kind: obs.EvDefer, Rep: -1, GPU: -1, Layer: -1, Expert: -1,
 				T: now, Aux: int64(rq.seq)})
 		}
+		s.opts.Decisions.Logf(now, "admission-defer req=%d queued=%d backlog=%d-tokens wait-est=%.3fs slo=%.3fs stall-est=%.6fs/token defers=%d retry=%.2fs",
+			rq.seq, queued, backlog, waitEst, fl.spec.SLOSeconds, fl.stallEst, rq.defers, fl.spec.DeferSeconds)
 		heap.Push(&s.events, event{t: now + fl.spec.DeferSeconds, kind: evArrival, seq: rq.seq})
 		return false
 	case fleet.Shed:
@@ -237,8 +248,8 @@ func (s *server) fleetAdmit(now float64, rq *request) bool {
 			s.tr.Emit(obs.Event{Kind: obs.EvShed, Rep: -1, GPU: -1, Layer: -1, Expert: -1,
 				T: now, Aux: int64(rq.seq)})
 		}
-		s.opts.Decisions.Logf(now, "admission-shed req=%d queued=%d backlog=%d-tokens stall-est=%.6fs/token defers=%d",
-			rq.seq, queued, backlog, fl.stallEst, rq.defers)
+		s.opts.Decisions.Logf(now, "admission-shed req=%d queued=%d backlog=%d-tokens wait-est=%.3fs slo=%.3fs stall-est=%.6fs/token defers=%d",
+			rq.seq, queued, backlog, waitEst, fl.spec.SLOSeconds, fl.stallEst, rq.defers)
 		return false
 	}
 	fl.admitted++
@@ -285,7 +296,9 @@ func (s *server) maybeReconcile(now float64) {
 func (s *server) scaleUp(now float64, dec fleet.Decision) {
 	var slot *replica
 	for _, r := range s.replicas {
-		if !r.live && !r.warming {
+		// Crashed slots with a scheduled recovery are reserved — the chaos
+		// layer will bring them back itself.
+		if !r.live && !r.warming && !r.crashed {
 			slot = r
 			break
 		}
@@ -304,7 +317,7 @@ func (s *server) scaleUp(now float64, dec fleet.Decision) {
 	s.opts.Decisions.Logf(now, "scale-up replica=%d rate=%.2freq/s desired=%d warmup=%.3fs",
 		slot.id, dec.Rate, dec.Desired, s.fl.warmup)
 	s.seq++
-	heap.Push(&s.events, event{t: now + s.fl.warmup, kind: evScaleUp, rep: slot.id, seq: s.seq})
+	heap.Push(&s.events, event{t: now + s.fl.warmup, kind: evScaleUp, rep: slot.id, seq: s.seq, gen: slot.gen})
 	s.sampleFleet(now)
 }
 
@@ -358,12 +371,46 @@ func (s *server) scaleDown(now float64, dec fleet.Decision) {
 		s.tr.Emit(obs.Event{Kind: obs.EvScaleDown, Rep: -1, GPU: -1, Layer: -1, Expert: -1,
 			T: now, Aux: int64(victim.id)})
 	}
-	s.opts.Decisions.Logf(now, "scale-down replica=%d rate=%.2freq/s desired=%d streak=%d draining-load=%d",
-		victim.id, dec.Rate, dec.Desired, dec.Streak, victim.load())
+	// Graceful drain: queued requests never started decoding here — hand them
+	// to the survivors immediately instead of making them wait out the drain
+	// behind a retiring replica. In-flight actives finish in place.
+	moved := victim.queue
+	victim.queue = nil
+	s.opts.Decisions.Logf(now, "scale-down replica=%d rate=%.2freq/s desired=%d streak=%d redispatched=%d draining-active=%d",
+		victim.id, dec.Rate, dec.Desired, dec.Streak, len(moved), len(victim.active))
 	if victim.load() == 0 && !victim.running && !victim.stalled {
 		s.retireReplica(now, victim)
 	} else {
 		s.sampleFleet(now)
+	}
+	s.redispatch(now, moved)
+}
+
+// redispatch hands orphaned requests — a draining or crashed replica's — to
+// the least-loaded serving replicas, then kicks every idle recipient.
+func (s *server) redispatch(now float64, reqs []*request) {
+	if len(reqs) == 0 {
+		return
+	}
+	for _, rq := range reqs {
+		var best *replica
+		for _, t := range s.replicas {
+			if !t.live || t.draining {
+				continue
+			}
+			if best == nil || t.load() < best.load() {
+				best = t
+			}
+		}
+		// best is never nil: replica 0 anchors the fleet — it is never
+		// drained, and chaos.Validate refuses to crash it.
+		rq.replica = best.id
+		best.queue = append(best.queue, rq)
+	}
+	for _, t := range s.replicas {
+		if t.live && !t.draining {
+			s.start(now, t)
+		}
 	}
 }
 

@@ -40,6 +40,32 @@ type fleetMetrics struct {
 	defers     *obs.Counter // fleet_deferred_total
 }
 
+// chaosMetrics caches the fault-injection counters. Like fleetMetrics they
+// register only when a chaos schedule is armed, so fault-free runs keep
+// exactly today's exported metric name set.
+type chaosMetrics struct {
+	crashes    *obs.Counter // chaos_crashes_total: replica crash faults fired
+	recoveries *obs.Counter // chaos_recoveries_total: replicas back in service
+	redispatch *obs.Counter // chaos_redispatch_total: requests moved off crashed replicas
+	lostIters  *obs.Counter // chaos_lost_iterations_total: in-flight iterations aborted
+	degrades   *obs.Counter // chaos_link_degrade_windows_total
+	sheds      *obs.Counter // chaos_shed_total: requests shed on retry-exhausted fetches
+}
+
+func newChaosMetrics(reg *obs.Registry) chaosMetrics {
+	if reg == nil {
+		return chaosMetrics{}
+	}
+	return chaosMetrics{
+		crashes:    reg.Counter("chaos_crashes_total"),
+		recoveries: reg.Counter("chaos_recoveries_total"),
+		redispatch: reg.Counter("chaos_redispatch_total"),
+		lostIters:  reg.Counter("chaos_lost_iterations_total"),
+		degrades:   reg.Counter("chaos_link_degrade_windows_total"),
+		sheds:      reg.Counter("chaos_shed_total"),
+	}
+}
+
 func newFleetMetrics(reg *obs.Registry) fleetMetrics {
 	if reg == nil {
 		return fleetMetrics{}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/chaos"
 	"repro/internal/expertmem"
 	"repro/internal/fleet"
 	"repro/internal/obs"
@@ -76,6 +77,11 @@ type Report struct {
 	// autoscaler activity, shared host-cache stats (nil when Options.Fleet
 	// is nil).
 	Fleet *fleet.Report
+	// Faults is the fault-injection ledger — crash outcomes with recovery
+	// times, accumulated downtime, re-dispatched requests, degraded-link
+	// windows, fetch retry/timeout/exhaustion counts, and retry-exhausted
+	// sheds (nil when Options.Chaos is nil or empty).
+	Faults *chaos.Report
 	// Metrics is the end-of-run snapshot of Options.Metrics (nil when no
 	// registry was attached). Its mem_stall_seconds counter equals
 	// MemStallSeconds exactly: both accumulate the same float additions in
@@ -139,6 +145,9 @@ func (r *Report) String() string {
 	if r.ExpertMem != nil {
 		fmt.Fprintf(&b, "  %s\n", r.ExpertMem)
 	}
+	if r.Faults != nil {
+		fmt.Fprintf(&b, "  %s\n", r.Faults)
+	}
 	return b.String()
 }
 
@@ -172,8 +181,14 @@ func (s *server) buildReport() *Report {
 		if s.fl != nil {
 			mst.Add(s.fl.retiredStats)
 		}
+		if s.ch != nil {
+			mst.Add(s.ch.retiredStats)
+		}
 		rep.ExpertMem = &mst
 		rep.MemStallSeconds = s.memStall
+	}
+	if s.ch != nil {
+		rep.Faults = s.faultReport(rep.ExpertMem)
 	}
 	if s.iterations > 0 {
 		rep.MeanBatch = float64(s.batchTotal) / float64(s.iterations)

@@ -18,6 +18,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/expertmem"
 	"repro/internal/fleet"
 	"repro/internal/moe"
@@ -137,6 +138,15 @@ type Options struct {
 	// admission control. Nil disables the tier entirely — the serve path is
 	// then bit-identical to a build without it.
 	Fleet *fleet.Spec
+	// Chaos injects deterministic faults on the simulated clock
+	// (internal/chaos): replica crashes with timed recovery, degraded
+	// host/NVMe link windows, fetch stall-timeouts with bounded retry, and
+	// preemptible DMA. Nil (or an empty schedule) disables the layer — the
+	// run is then bit-identical to a build without it. The memory-path knobs
+	// (link degrade, fetch timeout, preemptible DMA) require the tiered
+	// memory layer (Oversubscription >= 1); crash faults work with or
+	// without a fleet, and their outcomes land in Report.Faults.
+	Chaos *chaos.Schedule
 	// LatencyBucket is the report's time-bucket width in seconds for the
 	// P95/throughput series (0 = makespan/80).
 	LatencyBucket float64
@@ -292,6 +302,13 @@ func (o *Options) Validate() error {
 	if _, err := placement.ParseResidencyModel(o.ResidencyModel); err != nil {
 		return err
 	}
+	if err := o.Chaos.Validate(); err != nil {
+		return err
+	}
+	if o.Oversubscription == 0 && o.Chaos != nil &&
+		(o.Chaos.FetchTimeout > 0 || o.Chaos.PreemptibleDMA || o.Chaos.Degraded()) {
+		return fmt.Errorf("serve: Chaos memory-path faults (fetch timeout, preemptible DMA, link degrade) touch the tiered memory layer; set Oversubscription >= 1")
+	}
 	if o.Fleet != nil {
 		if err := o.Fleet.Validate(o.Replicas); err != nil {
 			return err
@@ -349,19 +366,29 @@ type replica struct {
 	live     bool
 	draining bool
 	warming  bool
+	// gen is the incarnation counter (see event.gen); crashed marks a slot
+	// reserved by a scheduled chaos recovery (the autoscaler must not
+	// re-commission it), with crashedAt the fault instant.
+	gen       int
+	crashed   bool
+	crashedAt float64
 }
 
 // load is the front-end's routing metric: queued plus active requests.
 func (r *replica) load() int { return len(r.queue) + len(r.active) }
 
-// Event kinds, in tie-break priority order at equal timestamps: scale-up
-// activations first (a replica going live at time T must be visible to
-// same-instant arrivals), then arrivals (so a request arriving exactly at an
-// iteration boundary can be admitted by it), then stall completions, then
-// background-solve completions (so an instantaneous solve's plan is visible
-// to iteration ends at the same timestamp), then iteration completions.
+// Event kinds, in tie-break priority order at equal timestamps: crashes
+// first (a fault at time T kills the replica before anything else at T can
+// touch it), then scale-up activations and crash recoveries (a replica going
+// live at time T must be visible to same-instant arrivals), then arrivals
+// (so a request arriving exactly at an iteration boundary can be admitted by
+// it), then stall completions, then background-solve completions (so an
+// instantaneous solve's plan is visible to iteration ends at the same
+// timestamp), then iteration completions.
 const (
-	evScaleUp = iota
+	evCrash = iota
+	evScaleUp
+	evRecover
 	evArrival
 	evStallEnd
 	evSolveEnd
@@ -371,8 +398,12 @@ const (
 type event struct {
 	t    float64
 	kind int
-	rep  int // replica id (evIterEnd, evStallEnd)
-	seq  int // arrival index (evArrival); monotonic otherwise
+	rep  int // replica id (evIterEnd, evStallEnd, evScaleUp, evRecover)
+	seq  int // arrival index (evArrival); crash-fault index (evCrash); monotonic otherwise
+	// gen stamps replica-targeted events with the replica's generation at
+	// push time; a crash bumps the generation, invalidating every event the
+	// dead incarnation still has in flight.
+	gen int
 }
 
 type eventHeap []event
@@ -414,6 +445,10 @@ type server struct {
 	fl     *fleetState
 	memCfg expertmem.Config
 	curPl  *placement.Placement
+
+	// ch is the chaos layer (nil when Options.Chaos is nil or empty — every
+	// chaos branch below is gated on it so the nil path stays bit-identical).
+	ch *chaosState
 
 	// tr/met are the observability hooks (nil / zero when off).
 	tr  *obs.Tracer
@@ -493,6 +528,12 @@ func Run(opts Options) (*Report, error) {
 	for r := 0; r < slots; r++ {
 		s.replicas = append(s.replicas, &replica{id: r, pl: opts.Placement.Clone(), live: r < opts.Replicas})
 	}
+	if opts.Chaos.Enabled() {
+		if err := opts.Chaos.ValidateReplicas(slots); err != nil {
+			return nil, err
+		}
+		s.ch = newChaosState(&s.opts)
+	}
 	if opts.Oversubscription > 0 {
 		pol, err := expertmem.ParsePolicy(opts.CachePolicy)
 		if err != nil {
@@ -534,15 +575,14 @@ func Run(opts Options) (*Report, error) {
 	}
 
 	if s.fl != nil {
-		// A scale-up charges the time to copy one replica's per-GPU HBM
-		// working set over the host link (GPUs fill in parallel; the links
-		// are per-GPU).
-		perGPU := layers * opts.Placement.Experts / opts.Topo.TotalGPUs()
-		if opts.Oversubscription > 0 && s.memCfg.SlotsPerGPU < perGPU {
-			perGPU = s.memCfg.SlotsPerGPU
-		}
-		s.fl.warmup = opts.Topo.HostPath().Time(perGPU * opts.ExpertBytes)
+		s.fl.warmup = s.paramCopySeconds()
 		s.sampleFleet(0)
+	}
+	if s.ch != nil {
+		// A crash recovery pays the same parameter re-copy a scale-up does,
+		// plus the re-warm surcharge charged when the recovery lands.
+		s.ch.warmup = s.paramCopySeconds()
+		s.scheduleChaos()
 	}
 
 	// Pre-draw every arrival: phase by phase, deterministic in the seed.
@@ -564,20 +604,46 @@ func Run(opts Options) (*Report, error) {
 
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(event)
+		// Replica-targeted events from a crashed incarnation are stale: the
+		// generation check drops an iteration, stall, warm-up, or recovery
+		// the fault aborted.
 		switch e.kind {
 		case evArrival:
 			s.onArrival(e.t, s.arrivals[e.seq])
 		case evIterEnd:
-			s.onIterEnd(e.t, s.replicas[e.rep])
+			if e.gen == s.replicas[e.rep].gen {
+				s.onIterEnd(e.t, s.replicas[e.rep])
+			}
 		case evStallEnd:
-			s.onStallEnd(e.t, s.replicas[e.rep])
+			if e.gen == s.replicas[e.rep].gen {
+				s.onStallEnd(e.t, s.replicas[e.rep])
+			}
 		case evSolveEnd:
 			s.onSolveEnd(e.t)
 		case evScaleUp:
-			s.onScaleUp(e.t, s.replicas[e.rep])
+			if e.gen == s.replicas[e.rep].gen {
+				s.onScaleUp(e.t, s.replicas[e.rep])
+			}
+		case evCrash:
+			s.onCrash(e.t, e.seq)
+		case evRecover:
+			if e.gen == s.replicas[e.rep].gen {
+				s.onRecover(e.t, s.replicas[e.rep])
+			}
 		}
 	}
 	return s.buildReport(), nil
+}
+
+// paramCopySeconds is the simulated time to copy one replica's per-GPU HBM
+// working set over the host link (GPUs fill in parallel; the links are
+// per-GPU) — the warm-up a scale-up or crash recovery charges.
+func (s *server) paramCopySeconds() float64 {
+	perGPU := s.opts.Placement.Layers * s.opts.Placement.Experts / s.opts.Topo.TotalGPUs()
+	if s.opts.Oversubscription > 0 && s.memCfg.SlotsPerGPU < perGPU {
+		perGPU = s.memCfg.SlotsPerGPU
+	}
+	return s.opts.Topo.HostPath().Time(perGPU * s.opts.ExpertBytes)
 }
 
 // onArrival admits a request to the least-loaded serving replica's queue,
@@ -588,7 +654,7 @@ func (s *server) onArrival(now float64, rq *request) {
 	}
 	var best *replica
 	for _, r := range s.replicas {
-		if s.fl != nil && (!r.live || r.draining) {
+		if (s.fl != nil || s.ch != nil) && (!r.live || r.draining) {
 			continue
 		}
 		if best == nil || r.load() < best.load() {
@@ -596,7 +662,7 @@ func (s *server) onArrival(now float64, rq *request) {
 		}
 	}
 	if best == nil {
-		return // unreachable: replica 0 is never drained
+		return // unreachable: replica 0 is never drained and cannot crash
 	}
 	rq.replica = best.id
 	best.queue = append(best.queue, rq)
@@ -710,7 +776,7 @@ func (s *server) beginStall(now float64, r *replica) {
 			T: now, Dur: s.pending.event.Seconds})
 	}
 	s.seq++
-	heap.Push(&s.events, event{t: now + s.pending.event.Seconds, kind: evStallEnd, rep: r.id, seq: s.seq})
+	heap.Push(&s.events, event{t: now + s.pending.event.Seconds, kind: evStallEnd, rep: r.id, seq: s.seq, gen: r.gen})
 }
 
 // maybeCheckDrift runs the periodic drift observation and, when the
@@ -725,7 +791,13 @@ func (s *server) maybeCheckDrift(now float64) {
 	if s.fl != nil {
 		s.refreshFleetPricing(now)
 	}
-	if s.opts.StallTrigger {
+	// Crash transients pollute the drift signal: redispatch spikes the queue
+	// and the stall rate while the fleet absorbs the lost capacity, none of
+	// which is routing drift. Inside the quiet window the controller still
+	// scores (the series stays continuous) but launches no solve and sees no
+	// stall-trigger samples.
+	quiet := s.ch != nil && now < s.ch.quietUntil
+	if s.opts.StallTrigger && !quiet {
 		// Feed the controller the recent charged stall rate so residency
 		// decay can fire a re-solve even when the routing mix looks stable.
 		if rate, ok := s.stallPerToken(now-4*s.opts.CheckInterval, now); ok {
@@ -733,7 +805,7 @@ func (s *server) maybeCheckDrift(now float64) {
 		}
 	}
 	// All replicas share placement lineage; score drift against replica 0's.
-	score, solve := s.ctrl.observe(now, s.replicas[0].pl, s.pending != nil || s.solving != nil)
+	score, solve := s.ctrl.observe(now, s.replicas[0].pl, s.pending != nil || s.solving != nil || quiet)
 	s.driftT = append(s.driftT, now)
 	s.driftY = append(s.driftY, score)
 	depth := 0
@@ -836,9 +908,11 @@ func (s *server) start(now float64, r *replica) {
 	}
 	total := float64(same + node + cross)
 	dt := s.opts.Cost.Time(len(r.active), float64(node)/total, float64(cross)/total)
+	var failedRows []int
 	if s.mems != nil {
-		st := s.memoryStalls(r, len(r.active), now, dt)
+		st, failed := s.memoryStalls(r, len(r.active), now, dt)
 		dt += st
+		failedRows = failed
 		// The metric mirrors the report field addition-for-addition so the
 		// exported mem_stall_seconds equals Report.MemStallSeconds exactly.
 		s.memStall += st
@@ -861,12 +935,24 @@ func (s *server) start(now float64, r *replica) {
 	}
 	r.running = true
 	s.seq++
-	heap.Push(&s.events, event{t: now + dt, kind: evIterEnd, rep: r.id, seq: s.seq})
+	heap.Push(&s.events, event{t: now + dt, kind: evIterEnd, rep: r.id, seq: s.seq, gen: r.gen})
+	if len(failedRows) > 0 {
+		// Retry-exhausted fetches stranded these tokens' iterations: shed
+		// them now (the batch accounting above already counted the launch)
+		// so the run degrades gracefully instead of hanging on weights that
+		// never arrive.
+		s.shedFailedRows(now, r, failedRows)
+	}
 }
 
 // memoryStalls walks one iteration's per-layer timeline through the
 // replica's tiered expert-weight memory (see LayerStallTimeline) and
-// returns the total stall added to the iteration.
-func (s *server) memoryStalls(r *replica, batch int, now, computeDur float64) float64 {
-	return LayerStallTimelineTraced(s.mems[r.id], r.pl, s.paths, batch, now, computeDur, s.tr, r.id)
+// returns the total stall added to the iteration, plus — when the chaos
+// fetch-timeout model is armed — the batch rows whose tokens hit a
+// retry-exhausted fetch and must be shed.
+func (s *server) memoryStalls(r *replica, batch int, now, computeDur float64) (float64, []int) {
+	if s.ch != nil && s.ch.sched.FetchTimeout > 0 {
+		return LayerStallTimelineChecked(s.mems[r.id], r.pl, s.paths, batch, now, computeDur, s.tr, r.id)
+	}
+	return LayerStallTimelineTraced(s.mems[r.id], r.pl, s.paths, batch, now, computeDur, s.tr, r.id), nil
 }

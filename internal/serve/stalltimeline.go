@@ -44,8 +44,24 @@ func LayerStallTimeline(mem *expertmem.Manager, pl *placement.Placement, paths [
 // on the GPU's track, starting at the layer's post-compute instant for that
 // GPU. A nil tracer is the zero-overhead path (bit-identical stalls).
 func LayerStallTimelineTraced(mem *expertmem.Manager, pl *placement.Placement, paths [][]int, batch int, now, computeDur float64, tr *obs.Tracer, rep int) float64 {
+	st, _ := layerStallCore(mem, pl, paths, batch, now, computeDur, tr, rep, false)
+	return st
+}
+
+// LayerStallTimelineChecked is LayerStallTimelineTraced under the chaos
+// fetch-timeout model: demand accesses may exhaust their retries and fail.
+// A failed (GPU, expert) fetch poisons every batch row routed through it
+// this layer — those rows' weights will never arrive, so they drop out of
+// the walk (no further demand, no prefetch hints) and their indices are
+// returned for the caller to shed. With no timeout armed, failures are
+// impossible and the stall is bit-identical to the unchecked walk.
+func LayerStallTimelineChecked(mem *expertmem.Manager, pl *placement.Placement, paths [][]int, batch int, now, computeDur float64, tr *obs.Tracer, rep int) (float64, []int) {
+	return layerStallCore(mem, pl, paths, batch, now, computeDur, tr, rep, true)
+}
+
+func layerStallCore(mem *expertmem.Manager, pl *placement.Placement, paths [][]int, batch int, now, computeDur float64, tr *obs.Tracer, rep int, checked bool) (float64, []int) {
 	if !mem.Oversubscribed() {
-		return 0
+		return 0, nil
 	}
 	layers := pl.Layers
 	perLayer := computeDur / float64(layers)
@@ -54,6 +70,9 @@ func LayerStallTimelineTraced(mem *expertmem.Manager, pl *placement.Placement, p
 	total := 0.0
 	seen := make(map[[2]int]bool, batch)
 	gpuStall := make([]float64, pl.GPUs)
+	var failed []bool              // lazily allocated: rows dropped by a failed fetch
+	var failedRows []int           // their indices, in discovery order
+	var failedKeys map[[2]int]bool // this layer's exhausted (GPU, expert) fetches
 	for j := 0; j < layers; j++ {
 		clear(seen)
 		for g := range gpuStall {
@@ -67,6 +86,9 @@ func LayerStallTimelineTraced(mem *expertmem.Manager, pl *placement.Placement, p
 		// each access is issued at the GPU's accumulated post-stall time
 		// and the GPU's total stall is its demand-completion offset.
 		for i := 0; i < batch; i++ {
+			if failed != nil && failed[i] {
+				continue
+			}
 			e := paths[i][j]
 			gpu := pl.GPUOf(j, e)
 			k := [2]int{gpu, e}
@@ -74,13 +96,43 @@ func LayerStallTimelineTraced(mem *expertmem.Manager, pl *placement.Placement, p
 				continue
 			}
 			seen[k] = true
-			gpuStall[gpu] += mem.Access(gpu, j, e, t+gpuStall[gpu])
+			if checked {
+				st, ok := mem.AccessChecked(gpu, j, e, t+gpuStall[gpu])
+				gpuStall[gpu] += st
+				if !ok {
+					if failedKeys == nil {
+						failedKeys = make(map[[2]int]bool)
+					}
+					failedKeys[k] = true
+				}
+			} else {
+				gpuStall[gpu] += mem.Access(gpu, j, e, t+gpuStall[gpu])
+			}
 			if gpuStall[gpu] > stall {
 				stall = gpuStall[gpu]
 			}
 		}
+		if len(failedKeys) > 0 {
+			if failed == nil {
+				failed = make([]bool, batch)
+			}
+			for i := 0; i < batch; i++ {
+				if failed[i] {
+					continue
+				}
+				e := paths[i][j]
+				if failedKeys[[2]int{pl.GPUOf(j, e), e}] {
+					failed[i] = true
+					failedRows = append(failedRows, i)
+				}
+			}
+			clear(failedKeys)
+		}
 		if prefetch && j+1 < layers {
 			for i := 0; i < batch; i++ {
+				if failed != nil && failed[i] {
+					continue
+				}
 				for _, sc := range mem.Successors(j, paths[i][j]) {
 					owner := pl.GPUOf(j+1, sc)
 					mem.Prefetch(owner, j+1, sc, t+gpuStall[owner])
@@ -98,5 +150,5 @@ func LayerStallTimelineTraced(mem *expertmem.Manager, pl *placement.Placement, p
 		total += stall
 		t += perLayer + stall
 	}
-	return total
+	return total, failedRows
 }

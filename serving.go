@@ -3,6 +3,7 @@ package exflow
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/expertmem"
 	"repro/internal/fleet"
@@ -127,6 +128,16 @@ type ServeOptions struct {
 	// admission control priced on predicted paging cost. Nil disables the
 	// tier; the serve path is then bit-identical to previous releases.
 	Fleet *FleetSpec
+	// Chaos declares a fault-injection schedule for the run (see
+	// internal/chaos): replica crashes with timed recoveries, degraded-link
+	// windows, fetch stall-timeout retry with exponential backoff, and
+	// preemptible speculative DMA. Nil (or an empty schedule) disables the
+	// layer with zero overhead — the run is bit-identical to one without it.
+	// Fault outcomes are ledgered in ServeReport.Faults. The memory-path
+	// faults (FetchTimeout, PreemptibleDMA, link degradation) act on the
+	// tiered memory layer and require Oversubscription >= 1; crashes only
+	// require Replicas >= 2 (replica 0 anchors the fleet and cannot crash).
+	Chaos *ChaosSchedule
 	// Trace, when non-nil, records typed simulator events (admissions,
 	// iteration spans, per-layer expert stalls, prefetch traffic, solver
 	// lifecycle, migration pauses) into a bounded ring; export it with
@@ -245,6 +256,14 @@ func (o ServeOptions) Validate() error {
 			return err
 		}
 	}
+	if err := o.Chaos.Validate(); err != nil {
+		return err
+	}
+	if o.Oversubscription == 0 && o.Chaos != nil &&
+		(o.Chaos.FetchTimeout > 0 || o.Chaos.PreemptibleDMA || o.Chaos.Degraded()) {
+		// Mirrors the serve layer's check (both-layer validation convention).
+		return fmt.Errorf("exflow: Chaos memory-path faults (fetch timeout, preemptible DMA, link degrade) touch the tiered memory layer; set Oversubscription >= 1")
+	}
 	if _, err := placement.ParseResidencyModel(o.ResidencyModel); err != nil {
 		return err
 	}
@@ -282,6 +301,24 @@ type (
 const (
 	FleetAdmissionQueue  = fleet.AdmissionQueue
 	FleetAdmissionPaging = fleet.AdmissionPaging
+)
+
+// ChaosSchedule declares a fault-injection program for Serve (see
+// internal/chaos): build one from ChaosCrash / ChaosCrashForever /
+// ChaosDegradeLink faults plus the fetch-timeout and preemptible-DMA knobs.
+// ChaosReport is the per-run fault ledger (ServeReport.Faults).
+type (
+	ChaosSchedule = chaos.Schedule
+	ChaosFault    = chaos.Fault
+	ChaosReport   = chaos.Report
+)
+
+// ChaosCrash, ChaosCrashForever, and ChaosDegradeLink construct the typed
+// faults a ChaosSchedule is built from.
+var (
+	ChaosCrash        = chaos.Crash
+	ChaosCrashForever = chaos.CrashForever
+	ChaosDegradeLink  = chaos.DegradeLink
 )
 
 // ServeMetrics bundles what Serve derived before simulating: the fitted
@@ -392,6 +429,7 @@ func Serve(sys *System, opts ServeOptions) (*ServeReport, *ServeMetrics, error) 
 		StallTrigger:       opts.StallTrigger,
 		StallTriggerFactor: opts.StallTriggerFactor,
 		Fleet:              opts.Fleet,
+		Chaos:              opts.Chaos,
 		LatencyBucket:      opts.LatencyBucket,
 		Seed:               seed,
 		Trace:              opts.Trace,
