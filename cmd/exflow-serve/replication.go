@@ -1,0 +1,316 @@
+package main
+
+// The -replication sweep: expert-copy replication vs memory pressure.
+//
+// Replication relaxes ExFlow's exclusivity constraint (Formula 10): an extra
+// copy of a hot expert lets the router keep more transitions on-GPU or
+// on-node, buying back iteration time — but every copy occupies an HBM slot
+// that could have held a resident expert, so under tiered-memory
+// oversubscription the same copy also buys stalls. This sweep maps that
+// frontier: for each oversubscription ratio (1x = exactly provisioned, 2x/4x
+// = half/quarter resident) it serves identical traffic under placements
+// solved with increasing replication budgets and records P95 and
+// tokens-per-second per arm. Budget 0 must be bit-identical to the
+// single-copy solver; the replication win is expected at >= 2x, where the
+// crossing relief outweighs the residency displacement the annealer prices.
+//
+// The sweep serves the viral near-single-domain mixture, profiled and solved
+// on that same mixture — replication's paying regime. Under the broad
+// profiling mixture expert popularity is near-uniform (each GPU's serialized
+// fetch queue holds ~one expert per layer, and every copy displaces a slot
+// another expert earns more with), so a replication budget correctly buys
+// nothing: the annealer keeps zero copies and the frontier degenerates to
+// flat columns. A domain-specialized checkpoint under near-single-domain
+// traffic concentrates demand onto a few hot experts whose host links become
+// the stall ceiling, and copies of exactly those experts are what a budget
+// buys.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro"
+	"repro/internal/moe"
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/rng"
+)
+
+// repRunJSON is one (oversubscription ratio, replication budget) cell of the
+// frontier.
+type repRunJSON struct {
+	Ratio         float64 `json:"oversubscription"`
+	Budget        int     `json:"budget"`
+	ExtraCopies   int     `json:"extra_copies"`
+	OfferedRPS    float64 `json:"offered_req_per_sec"`
+	HitRate       float64 `json:"hit_rate"`
+	StallPerToken float64 `json:"clock_stall_s_per_token"`
+	P50           float64 `json:"p50_s"`
+	P95           float64 `json:"p95_s"`
+	P99           float64 `json:"p99_s"`
+	Throughput    float64 `json:"tokens_per_sec"`
+}
+
+// repSummaryJSON is the BENCH_replication.json shape.
+type repSummaryJSON struct {
+	Model     string    `json:"model"`
+	Layers    int       `json:"layers"`
+	GPUs      int       `json:"gpus"`
+	Replicas  int       `json:"replicas"`
+	Seed      uint64    `json:"seed"`
+	Arrival   string    `json:"arrival"`
+	Dataset   string    `json:"dataset"`
+	Straggler bool      `json:"dispatch_imbalance"`
+	Provision float64   `json:"provision_frac"`
+	Residency string    `json:"residency_model"`
+	Budgets   []int     `json:"budgets"`
+	Ratios    []float64 `json:"oversubscriptions"`
+
+	Runs []repRunJSON `json:"runs"`
+
+	Acceptance struct {
+		// Budget0BitIdentical: at budget 0 the replication pass must be a
+		// no-op — the solved placement equals the single-copy solver's
+		// output exactly and carries no replica sets.
+		Budget0BitIdentical bool `json:"budget0_bit_identical"`
+		// ReplicationWins: some budget > 0 arm beats the single-copy P95 at
+		// an oversubscription ratio >= 2.
+		ReplicationWins     bool    `json:"replication_beats_single_copy_at_2x"`
+		SingleCopy2xP95     float64 `json:"single_copy_2x_p95_s"`
+		BestReplicated2xP95 float64 `json:"best_replicated_2x_p95_s"`
+		BestBudget2x        int     `json:"best_budget_2x"`
+		SingleCopy4xP95     float64 `json:"single_copy_4x_p95_s"`
+		BestReplicated4xP95 float64 `json:"best_replicated_4x_p95_s"`
+		BestBudget4x        int     `json:"best_budget_4x"`
+	} `json:"acceptance"`
+}
+
+// replicationConfig carries the sweep's knobs from the flag set.
+type replicationConfig struct {
+	gpus, replicas, decode, hostSlots int
+	seed                              uint64
+	dur, provision                    float64
+	arrival, jsonPath, residency      string
+	solveWorkers                      int
+}
+
+// repArm is one finished cell.
+type repArm struct {
+	ratioIdx, budgetIdx int
+	ratio               float64
+	budget              int
+	rate                float64
+	pl                  *placement.Placement
+	rep                 *exflow.ServeReport
+}
+
+// runReplicationSweep serves identical steady traffic per oversubscription
+// ratio under placements solved with each replication budget, plus a direct
+// single-copy solve per ratio as the bit-identity reference. Arms at a ratio
+// share a deterministic per-ratio seed (identical arrival streams), so P95
+// differences between budgets are placement, not luck. Results are sorted
+// before writing, so the JSON is byte-identical regardless of which arm
+// finishes first.
+func runReplicationSweep(sys *exflow.System, cfg moe.Config, rc replicationConfig) {
+	gpus, replicas, decode, hostSlots := rc.gpus, rc.replicas, rc.decode, rc.hostSlots
+	seed, dur, jsonPath := rc.seed, rc.dur, rc.jsonPath
+	ratios := []float64{1, 2, 4}
+	budgets := []int{0, gpus / 2, gpus, 2 * gpus, 4 * gpus}
+	hot := exflow.ViralDataset()
+	fmt.Printf("replication sweep: %s on %d GPUs x%d replicas, budgets %v at %vx oversubscription, %.0fs of %s %s traffic per arm\n",
+		cfg.String(), gpus, replicas, budgets[1:], ratios, dur, rc.arrival, hot.Name)
+
+	base := exflow.ServeOptions{
+		Replicas:      replicas,
+		DecodeTokens:  decode,
+		SolveWorkers:  rc.solveWorkers,
+		LatencyBucket: dur / 80,
+		Seed:          seed,
+		// Every arm — the single-copy reference included — is measured under
+		// the straggler-aware hop model, so budgets compete on one cost
+		// surface: the mean-hop model can only see replication's slot
+		// displacement, never the inbound concentration it flattens.
+		DispatchImbalance: true,
+	}
+	cal, err := exflow.CalibrateServe(sys, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+		os.Exit(1)
+	}
+	base.Calibration = cal
+
+	// Every arm — the single-copy reference included — solves on a trace
+	// profiled from the mixture it will serve, so budgets are the only
+	// degree of freedom on the frontier and the budget-0 bit-identity check
+	// stays meaningful.
+	profTokens := base.ProfileTokens
+	if profTokens == 0 {
+		profTokens = 3000
+	}
+	trHot := sys.ProfileOn(hot, profTokens, 0)
+
+	sum := repSummaryJSON{
+		Model: cfg.Name, Layers: cfg.Layers, GPUs: gpus, Replicas: replicas, Seed: seed,
+		Arrival: rc.arrival, Dataset: hot.Name, Straggler: true,
+		Provision: rc.provision, Residency: rc.residency,
+		Budgets: budgets, Ratios: ratios,
+	}
+	if sum.Residency == "" {
+		sum.Residency = "static"
+	}
+
+	// armSeed matches the oversub sweep's convention: every budget at a ratio
+	// shares the ratio's seed, so the frontier compares identical arrivals.
+	armSeed := func(ratioIdx int) uint64 { return rng.Mix64(seed, 0x2E71, uint64(ratioIdx)) }
+
+	baseRate := rc.provision * cal.Metrics.RequestCapacity
+
+	var (
+		mu        sync.Mutex
+		arms      []repArm
+		errs      []error
+		identical = true
+	)
+	collect := func(a repArm, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs = append(errs, err)
+			return
+		}
+		arms = append(arms, a)
+	}
+
+	var wg sync.WaitGroup
+	for i, ratio := range ratios {
+		wg.Add(1)
+		go func(i int, ratio float64) {
+			defer wg.Done()
+			rate := baseRate
+			if ratio > 1 {
+				// Saturating capacity probe under the hot mixture itself (the
+				// knee shifts with the mixture's residency footprint), as the
+				// operator provisioning this traffic would measure it.
+				probe := base
+				probe.HostSlots = hostSlots
+				probe.Adaptive = false
+				probe.Oversubscription = ratio
+				probe.CachePolicy = "affinity"
+				probe.Phases = []exflow.ServePhase{{Name: "probe", Duration: dur / 2,
+					Rate: 3 * cal.Metrics.RequestCapacity, Arrival: "poisson", Dataset: hot}}
+				rep, _, err := exflow.Serve(sys, probe)
+				if err != nil {
+					collect(repArm{}, err)
+					return
+				}
+				if rep.Makespan <= 0 {
+					collect(repArm{}, fmt.Errorf("exflow-serve: replication capacity probe served nothing"))
+					return
+				}
+				rate = rc.provision * (float64(rep.Tokens) / rep.Makespan) / float64(decode)
+			}
+			// The single-copy reference the budget-0 arm must reproduce bit
+			// for bit: the pre-replication solver entry for this ratio.
+			single := sys.SolvePlacementMemoryAware(trHot, ratio, "affinity", 0, hostSlots)
+			var bwg sync.WaitGroup
+			for bi, budget := range budgets {
+				bwg.Add(1)
+				go func(bi, budget int) {
+					defer bwg.Done()
+					pl := sys.SolvePlacementReplicated(trHot, ratio, "affinity", 0, hostSlots, budget)
+					if budget == 0 {
+						mu.Lock()
+						identical = identical && pl.Equal(single) && !pl.Replicated()
+						mu.Unlock()
+					}
+					calR := *cal
+					calR.Placement = pl
+					o := base
+					o.Calibration = &calR
+					o.Oversubscription = ratio
+					o.CachePolicy = "affinity"
+					o.HostSlots = hostSlots
+					o.Seed = armSeed(i)
+					o.Phases = []exflow.ServePhase{{Name: "steady", Duration: dur, Rate: rate, Arrival: rc.arrival, Dataset: hot}}
+					rep, _, err := exflow.Serve(sys, o)
+					collect(repArm{ratioIdx: i, budgetIdx: bi, ratio: ratio, budget: budget,
+						rate: rate, pl: pl, rep: rep}, err)
+				}(bi, budget)
+			}
+			bwg.Wait()
+		}(i, ratio)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+		}
+		os.Exit(1)
+	}
+
+	sort.Slice(arms, func(a, b int) bool {
+		if arms[a].ratio != arms[b].ratio {
+			return arms[a].ratio < arms[b].ratio
+		}
+		return arms[a].budget < arms[b].budget
+	})
+
+	// singleP95 / bestRep index the frontier's acceptance lookups.
+	singleP95 := map[float64]float64{}
+	bestRepP95 := map[float64]float64{}
+	bestBudget := map[float64]int{}
+	for _, a := range arms {
+		rep := a.rep
+		stallPerToken := 0.0
+		if rep.Tokens > 0 {
+			stallPerToken = rep.MemStallSeconds / float64(rep.Tokens)
+		}
+		sum.Runs = append(sum.Runs, repRunJSON{
+			Ratio: a.ratio, Budget: a.budget, ExtraCopies: a.pl.TotalExtras(), OfferedRPS: a.rate,
+			HitRate: rep.ExpertMem.EffectiveHitRate(), StallPerToken: stallPerToken,
+			P50: rep.Overall.P50, P95: rep.Overall.P95, P99: rep.Overall.P99,
+			Throughput: rep.Overall.Throughput,
+		})
+		fmt.Printf("  %.0fx budget %3d (%3d copies kept)  P95 %8.4fs  %7.0f tok/s  hit %5.1f%%  stall/token %.3fms\n",
+			a.ratio, a.budget, a.pl.TotalExtras(), rep.Overall.P95, rep.Overall.Throughput,
+			rep.ExpertMem.EffectiveHitRate()*100, stallPerToken*1e3)
+		if a.budget == 0 {
+			singleP95[a.ratio] = rep.Overall.P95
+		} else if best, ok := bestRepP95[a.ratio]; !ok || rep.Overall.P95 < best {
+			bestRepP95[a.ratio] = rep.Overall.P95
+			bestBudget[a.ratio] = a.budget
+		}
+	}
+
+	ac := &sum.Acceptance
+	ac.Budget0BitIdentical = identical
+	ac.SingleCopy2xP95, ac.BestReplicated2xP95, ac.BestBudget2x = singleP95[2], bestRepP95[2], bestBudget[2]
+	ac.SingleCopy4xP95, ac.BestReplicated4xP95, ac.BestBudget4x = singleP95[4], bestRepP95[4], bestBudget[4]
+	for _, ratio := range ratios {
+		if ratio >= 2 && bestRepP95[ratio] > 0 && bestRepP95[ratio] < singleP95[ratio] {
+			ac.ReplicationWins = true
+		}
+	}
+	fmt.Printf("\nbudget-0 bit-identical to the single-copy solver: %v\n", ac.Budget0BitIdentical)
+	fmt.Printf("2x: single-copy P95 %.4fs vs best replicated %.4fs (budget %d)\n",
+		ac.SingleCopy2xP95, ac.BestReplicated2xP95, ac.BestBudget2x)
+	fmt.Printf("4x: single-copy P95 %.4fs vs best replicated %.4fs (budget %d)\n",
+		ac.SingleCopy4xP95, ac.BestReplicated4xP95, ac.BestBudget4x)
+	fmt.Printf("replication beats single-copy at >= 2x oversubscription: %v\n", ac.ReplicationWins)
+
+	if jsonPath != "-" {
+		blob, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteFileAtomic(jsonPath, append(blob, '\n')); err != nil {
+			fmt.Fprintln(os.Stderr, "exflow-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}

@@ -168,31 +168,45 @@ func (s *System) SolvePlacement(tr *trace.Trace) *placement.Placement {
 // che prices fractional occupancy under churn with the prefetcher's
 // coverage discounted.
 func (s *System) SolvePlacementMemoryAware(tr *trace.Trace, oversub float64, policy string, prefetchK, hostSlots int) *placement.Placement {
+	return s.SolvePlacementReplicated(tr, oversub, policy, prefetchK, hostSlots, 0)
+}
+
+// SolvePlacementReplicated runs the staged pipeline with a replication
+// budget: after the two-stage single-copy solve finishes, up to budget extra
+// expert copies are annealed in (placement.AnnealReplicas) wherever the
+// replicated-crossing relief outweighs the memory objective's price for
+// holding another copy. oversub, policy, prefetchK, and hostSlots mirror
+// SolvePlacementMemoryAware and build that pricing objective; oversub 0
+// solves crossing-only and leaves copies free in memory terms (the
+// crossing relief alone decides). Budget 0 is bit-identical to the
+// corresponding single-copy solve — SolvePlacement when oversub is 0,
+// SolvePlacementMemoryAware otherwise.
+func (s *System) SolvePlacementReplicated(tr *trace.Trace, oversub float64, policy string, prefetchK, hostSlots, budget int) *placement.Placement {
 	cfg := s.Model.Cfg
 	counts := tr.AllTransitionCounts()
-	if oversub == 0 {
-		return s.SolvePlacement(tr)
+	var mo *placement.MemoryObjective
+	if oversub != 0 {
+		if oversub < 1 {
+			panic(fmt.Sprintf("exflow: oversubscription must be 0 (off) or >= 1, got %v", oversub))
+		}
+		pol, err := expertmem.ParsePolicy(policy)
+		if err != nil {
+			panic(err)
+		}
+		model, err := placement.ParseResidencyModel(s.ResidencyModel)
+		if err != nil {
+			panic(err)
+		}
+		if prefetchK == 0 {
+			prefetchK = 4
+		}
+		mcfg := expertmem.ConfigFor(s.Topo, cfg.Layers, cfg.Experts, int(cfg.ExpertParams())*2, // fp16
+			oversub, pol, prefetchK, hostSlots, counts)
+		mo = placement.NewMemoryObjective(mcfg, 0)
+		mo.Model = model
 	}
-	if oversub < 1 {
-		panic(fmt.Sprintf("exflow: oversubscription must be 0 (off) or >= 1, got %v", oversub))
-	}
-	pol, err := expertmem.ParsePolicy(policy)
-	if err != nil {
-		panic(err)
-	}
-	model, err := placement.ParseResidencyModel(s.ResidencyModel)
-	if err != nil {
-		panic(err)
-	}
-	if prefetchK == 0 {
-		prefetchK = 4
-	}
-	mcfg := expertmem.ConfigFor(s.Topo, cfg.Layers, cfg.Experts, int(cfg.ExpertParams())*2, // fp16
-		oversub, pol, prefetchK, hostSlots, counts)
-	mo := placement.NewMemoryObjective(mcfg, 0)
-	mo.Model = model
 	return placement.StagedOpt(counts, cfg.Layers, cfg.Experts, s.Topo, s.Seed,
-		placement.StagedOptions{Memory: mo, Workers: s.SolveWorkers})
+		placement.StagedOptions{Memory: mo, Workers: s.SolveWorkers, ReplicaBudget: budget})
 }
 
 // Baseline returns the Deepspeed-MoE contiguous placement.

@@ -1,0 +1,47 @@
+package placement
+
+import "math"
+
+// Fast exp(-x) for the Che pricer hot loop (ROADMAP item 4). Every Newton
+// evaluation and every stall sum calls exp(-mass*T) once per assigned item,
+// so the anneal's per-proposal cost is dominated by the libm Exp call. The
+// table-plus-cubic path below decomposes x = i*h + r with h = 1/64 and a
+// precomputed tab[i] = exp(-i*h), finishing with the degree-3 Taylor tail
+// for exp(-r), r < 1/64 — the truncation error is below r^4/24 ≈ 2.5e-9
+// relative, i.e. well under the 1e-8 bound across the whole range, which
+// TestFastExpNegBoundedError pins against math.Exp. Arguments past the
+// table (x >= 64, where exp(-x) < 2e-28 and nothing the objective sums can
+// resolve it) fall back to math.Exp, as do non-finite inputs.
+//
+// cheExactExp routes every call back to math.Exp — the reference path the
+// bounded-error property test compares whole-solve results against.
+
+// expNegStep is the table spacing; expNegTable[i] = exp(-i*expNegStep).
+const expNegStep = 1.0 / 64
+
+// expNegMax is the largest tabled argument.
+const expNegMax = 64.0
+
+var expNegTable = func() []float64 {
+	n := int(expNegMax/expNegStep) + 2
+	t := make([]float64, n)
+	for i := range t {
+		t[i] = math.Exp(-float64(i) * expNegStep)
+	}
+	return t
+}()
+
+// cheExactExp selects the exact math.Exp path for the Che pricer; the
+// bounded-error property suite flips it to compare solves.
+var cheExactExp = false
+
+// expNeg returns exp(-x) for x >= 0 via the table path.
+func expNeg(x float64) float64 {
+	if cheExactExp || x >= expNegMax || !(x >= 0) {
+		return math.Exp(-x)
+	}
+	i := int(x * (1 / expNegStep))
+	r := x - float64(i)*expNegStep
+	// exp(-r) ≈ 1 - r + r²/2 - r³/6 for r in [0, 1/64).
+	return expNegTable[i] * (1 - r*(1-r*(0.5-r*(1.0/6))))
+}

@@ -1,0 +1,131 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Batch-aware demand deflation and migration re-warm pricing (ROADMAP items
+// 3a/3b): unit and property coverage for the two satellite pricers.
+
+func TestDeflateBatchProperties(t *testing.T) {
+	var nilMo *MemoryObjective
+	nilMo.DeflateBatch(8) // must not panic
+
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		mo := memObjectiveFor(counts, layers, experts, gpus, 2)
+		before := append([]float64(nil), mo.mass...)
+
+		// B <= 1 is a bit-identical no-op.
+		mo.DeflateBatch(1)
+		for i, m := range mo.mass {
+			if m != before[i] {
+				return false
+			}
+		}
+
+		const B = 16
+		mo.DeflateBatch(B)
+		if mo.Batch != B {
+			return false
+		}
+		for i, m := range mo.mass {
+			// Deflation shrinks every mass (a batch demands an expert at
+			// most once per layer step) but never below mass/B and never
+			// kills live demand.
+			if m > before[i]+1e-12 || m < before[i]/B-1e-12 {
+				return false
+			}
+			if before[i] > 0 && m <= 0 {
+				return false
+			}
+			// p -> (1-(1-p)^B)/B is strictly increasing: the residency
+			// order is preserved, so warm sets never reorder.
+			for k := range mo.mass {
+				if before[i] < before[k] && mo.mass[i] > mo.mass[k]+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeflateBatchLimits(t *testing.T) {
+	tr, layers, experts, gpus := randomInstance(7)
+	counts := tr.AllTransitionCounts()
+	mo := memObjectiveFor(counts, layers, experts, gpus, 2)
+	const B = 32.0
+	// A saturated expert (p = 1) is demanded exactly once per batch: its
+	// mass deflates by the full factor B.
+	mo.mass[0] = mo.tokens
+	// A cold expert (p*B << 1) is nearly unchanged.
+	mo.mass[1] = mo.tokens * 1e-4
+	cold := mo.mass[1]
+	mo.DeflateBatch(B)
+	if got, want := mo.mass[0], mo.tokens/B; !closeRel(got, want, 1e-9) {
+		t.Fatalf("saturated mass deflated to %v, want %v", got, want)
+	}
+	if got := mo.mass[1]; !closeRel(got, cold, 5e-3) {
+		t.Fatalf("cold mass changed to %v from %v", got, cold)
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*(1+b)
+}
+
+// TestPropertyRewarmSecondsBounded: re-warm prices each arriving copy at
+// fetch weighted by its destination occupancy, so the total is bounded by
+// the plain sum of fetches, drops are free, and an inactive objective
+// prices nothing.
+func TestPropertyRewarmSecondsBounded(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		a := Random(layers, experts, gpus, seed)
+		b := Random(layers, experts, gpus, seed^0x11F)
+		addRandomReplicas(b, 3, seed^0x22F)
+		moves := Diff(a, b)
+		dropsOnly := Diff(b, a.Clone())
+		for _, model := range []ResidencyModel{ResidencyStatic, ResidencyChe} {
+			mo := memObjectiveFor(counts, layers, experts, gpus, 2)
+			mo.Model = model
+			got := mo.RewarmSeconds(b, moves)
+			bound := 0.0
+			for _, m := range moves {
+				if !m.Drop() {
+					bound += mo.fetch[int32(m.Layer*mo.experts+m.Expert)]
+				}
+			}
+			if got < 0 || got > bound+1e-12 {
+				return false
+			}
+			// A drop frees a slot; nothing is fetched.
+			onlyDrops := true
+			for _, m := range dropsOnly {
+				onlyDrops = onlyDrops && m.Drop()
+			}
+			if onlyDrops && len(dropsOnly) > 0 && mo.RewarmSeconds(a, dropsOnly) != 0 {
+				return false
+			}
+			// An exactly-provisioned (1x) objective is inactive: free.
+			at1x := memObjectiveFor(counts, layers, experts, gpus, 1)
+			at1x.Model = model
+			if at1x.RewarmSeconds(b, moves) != 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

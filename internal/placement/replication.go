@@ -1,0 +1,584 @@
+package placement
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Replica-set placement support: the solver-side half of ROADMAP item 1
+// ("spend slots on copies, not just moves"). A Placement may hold extra
+// copies of hot experts (Placement.Extra); this file provides the replica
+// bookkeeping, the router's copy-selection rule, the replicated crossing
+// model, and AnnealReplicas — the replicate/dereplicate refinement anneal
+// that spends a copy budget where the memory/Che objective says the slot
+// and occupancy price is worth the crossing and load relief.
+
+// Replicated reports whether any expert has more than one copy.
+func (p *Placement) Replicated() bool {
+	if p.Extra == nil {
+		return false
+	}
+	for j := range p.Extra {
+		for _, ex := range p.Extra[j] {
+			if len(ex) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Degree returns the number of copies of expert e at layer j (>= 1).
+func (p *Placement) Degree(j, e int) int {
+	return 1 + len(p.extraOf(j, e))
+}
+
+// TotalExtras counts the extra copies across the whole placement — the
+// quantity a replication budget bounds.
+func (p *Placement) TotalExtras() int {
+	if p.Extra == nil {
+		return 0
+	}
+	n := 0
+	for j := range p.Extra {
+		for _, ex := range p.Extra[j] {
+			n += len(ex)
+		}
+	}
+	return n
+}
+
+// ExtraCopies returns the extra-replica GPU list of expert e at layer j in
+// ascending order (nil or empty when single-copy). Callers must not mutate
+// the returned slice.
+func (p *Placement) ExtraCopies(j, e int) []int {
+	return p.extraOf(j, e)
+}
+
+// HasCopy reports whether GPU g holds a copy (primary or extra) of expert e
+// at layer j.
+func (p *Placement) HasCopy(j, e, g int) bool {
+	if p.Assign[j][e] == g {
+		return true
+	}
+	ex := p.extraOf(j, e)
+	i := sort.SearchInts(ex, g)
+	return i < len(ex) && ex[i] == g
+}
+
+// AddReplica installs an extra copy of expert e at layer j on GPU g,
+// allocating the replica structure on first use. Panics if g already holds
+// a copy.
+func (p *Placement) AddReplica(j, e, g int) {
+	if p.HasCopy(j, e, g) {
+		panic("placement: AddReplica on a GPU already holding a copy")
+	}
+	if p.Extra == nil {
+		p.Extra = make([][][]int, p.Layers)
+		for l := range p.Extra {
+			p.Extra[l] = make([][]int, p.Experts)
+		}
+	}
+	ex := p.Extra[j][e]
+	i := sort.SearchInts(ex, g)
+	ex = append(ex, 0)
+	copy(ex[i+1:], ex[i:])
+	ex[i] = g
+	p.Extra[j][e] = ex
+}
+
+// DropReplica removes the extra copy of expert e at layer j from GPU g.
+// Panics if g holds no extra copy there (the primary cannot be dropped).
+func (p *Placement) DropReplica(j, e, g int) {
+	ex := p.extraOf(j, e)
+	i := sort.SearchInts(ex, g)
+	if i >= len(ex) || ex[i] != g {
+		panic("placement: DropReplica of a copy that does not exist")
+	}
+	p.Extra[j][e] = append(ex[:i], ex[i+1:]...)
+}
+
+// relabelExtra maps every extra-replica GPU id through a permutation and
+// restores each list's ascending order — the replica half of the
+// canonicalization relabeling (the primary half rewrites Assign). permTo is
+// a bijection and extras never equal their primary, so relabeled extras
+// cannot collide with the relabeled primary.
+func (p *Placement) relabelExtra(permTo []int) {
+	if p.Extra == nil {
+		return
+	}
+	for j := range p.Extra {
+		for _, ex := range p.Extra[j] {
+			for i, g := range ex {
+				ex[i] = permTo[g]
+			}
+			sort.Ints(ex)
+		}
+	}
+}
+
+// normalizeExtra drops an all-empty replica structure back to nil so
+// degree-1 placements stay in the canonical single-copy representation.
+func (p *Placement) normalizeExtra() {
+	if p.Extra != nil && !p.Replicated() {
+		p.Extra = nil
+	}
+}
+
+// PickReplica returns the cheapest live copy of expert e at layer j for a
+// router at GPU `at`: the copy with the lowest hop class from the token's
+// current position (class(at, g) — the whole point of replicating is keeping
+// the transition chain local), ties broken least-loaded so the batch still
+// spreads across equally-placed copies, then by lowest GPU id —
+// deterministic for any fixed load state. load and class may each be nil to
+// drop that criterion. Single-copy experts return the primary without
+// touching either signal: the pre-replication routing path, bit for bit.
+func (p *Placement) PickReplica(j, e, at int, load []int, class func(from, to int) int) int {
+	best := p.Assign[j][e]
+	if p.Extra == nil {
+		return best
+	}
+	ex := p.Extra[j][e]
+	if len(ex) == 0 {
+		return best
+	}
+	for _, g := range ex {
+		if class != nil {
+			cg, cb := class(at, g), class(at, best)
+			if cg != cb {
+				if cg < cb {
+					best = g
+				}
+				continue
+			}
+		}
+		if load != nil {
+			if load[g] != load[best] {
+				if load[g] < load[best] {
+					best = g
+				}
+				continue
+			}
+		}
+		if g < best {
+			best = g
+		}
+	}
+	return best
+}
+
+// copiesIntersect reports whether some copy of (j1, e1) shares a GPU with
+// some copy of (j2, e2) — the replicated non-crossing condition.
+func (p *Placement) copiesIntersect(j1, e1, j2, e2 int) bool {
+	if p.HasCopy(j2, e2, p.Assign[j1][e1]) {
+		return true
+	}
+	for _, g := range p.extraOf(j1, e1) {
+		if p.HasCopy(j2, e2, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// copiesShareNode reports whether some copy pair of (j1, e1) and (j2, e2)
+// lands on the same node.
+func (p *Placement) copiesShareNode(j1, e1, j2, e2, gpusPerNode int) bool {
+	check := func(g int) bool {
+		n := g / gpusPerNode
+		if p.Assign[j2][e2]/gpusPerNode == n {
+			return true
+		}
+		for _, h := range p.extraOf(j2, e2) {
+			if h/gpusPerNode == n {
+				return true
+			}
+		}
+		return false
+	}
+	if check(p.Assign[j1][e1]) {
+		return true
+	}
+	for _, g := range p.extraOf(j1, e1) {
+		if check(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// TransitionHop returns the best hop class (in topo.HopClass order: 0 same
+// GPU, 1 same node, 2 cross node) a replica-aware router can achieve for the
+// transition (j, from) -> (j+1, to) on a homogeneous topology with
+// gpusPerNode GPUs per node: same-GPU when the copy sets intersect,
+// same-node when some copy pair shares a node. Single-copy placements reduce
+// to classifying the two primaries.
+func (p *Placement) TransitionHop(j, from, to, gpusPerNode int) int {
+	if p.copiesIntersect(j, from, j+1, to) {
+		return 0
+	}
+	if p.copiesShareNode(j, from, j+1, to, gpusPerNode) {
+		return 1
+	}
+	return 2
+}
+
+// crossingsReplicated is Formula 8 lifted to replica sets: a transition is
+// non-crossing when the two experts' copy sets intersect — the router can
+// keep the token in place by running both on the shared GPU. An optimistic
+// bound (every token is assumed to sit on the right copy), which is the
+// standard relaxation for replication-aware placement search; the serve
+// simulator realizes it with the least-loaded/locality-first router.
+func (p *Placement) crossingsReplicated(counts [][][]float64) float64 {
+	total := 0.0
+	for j := 0; j < p.Layers-1 && j < len(counts); j++ {
+		for from := 0; from < p.Experts; from++ {
+			row := counts[j][from]
+			for to, w := range row {
+				if w != 0 && !p.copiesIntersect(j, from, j+1, to) {
+					total += w
+				}
+			}
+		}
+	}
+	return total
+}
+
+// applyReplicaBudget is the solver pipelines' single replication hook: when
+// budget > 0 it runs AnnealReplicas over the finished single-copy placement
+// (seed salted off the pipeline seed so the pass is independent of the swap
+// anneal's stream), otherwise it returns the placement untouched. Every
+// pipeline applies it exactly once, at the very end — never inside staged
+// sub-solves, whose local GPU numbering would not survive reassembly.
+func applyReplicaBudget(counts [][][]float64, p *Placement, budget int, seed uint64, mem *MemoryObjective, ix *TransIndex) *Placement {
+	if budget <= 0 {
+		return p
+	}
+	return AnnealReplicas(counts, p, ReplicaOptions{
+		Budget: budget,
+		Seed:   rng.Mix64(seed, 0x5EB11CA, 0),
+		Memory: mem,
+		Index:  ix,
+	})
+}
+
+// ReplicaOptions tunes AnnealReplicas.
+type ReplicaOptions struct {
+	// Budget is the maximum number of extra copies across the placement;
+	// zero disables the pass entirely (callers should not invoke it).
+	Budget int
+	// Iterations is the number of proposed replicate/dereplicate moves;
+	// zero means 20000.
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule as
+	// fractions of the initial objective; zeros mean 0.02 and 1e-5 (the
+	// swap anneal's defaults).
+	StartTemp, EndTemp float64
+	Seed               uint64
+	// Memory prices the slot/occupancy cost of every copy under its
+	// residency model (each copy of an expert carries mass/degree of its
+	// demand — the router splits the load). Nil or inactive leaves copies
+	// free in memory terms, pricing crossings only.
+	Memory *MemoryObjective
+	// Index optionally supplies a prebuilt sparse transition index; nil
+	// builds one.
+	Index *TransIndex
+}
+
+// AnnealReplicas refines a placement by replicate/dereplicate moves under a
+// Metropolis acceptance rule: each proposal adds a copy of one expert to a
+// GPU not yet holding it (budget permitting) or drops an existing extra
+// copy. The move delta blends the replicated crossing relief (copy sets
+// intersecting more transitions) with the memory objective's price for the
+// copy's slot and occupancy, in the same units as the swap anneal. The
+// primaries are never touched, so the balance constraint (Formula 9) holds
+// throughout; only exclusivity (Formula 10) is relaxed, by at most Budget
+// copies. The returned placement is the best state encountered, normalized
+// back to the single-copy representation when no copy survived.
+func AnnealReplicas(counts [][][]float64, init *Placement, opts ReplicaOptions) *Placement {
+	if opts.Budget <= 0 || init.GPUs == 1 {
+		return init.Clone()
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 20000
+	}
+	startT, endT := opts.StartTemp, opts.EndTemp
+	if startT <= 0 {
+		startT = 0.02
+	}
+	if endT <= 0 {
+		endT = 1e-5
+	}
+	ix := opts.Index
+	if ix == nil {
+		ix = NewTransIndex(counts, init.Layers, init.Experts)
+	}
+	rs := newRepState(init.Clone(), opts.Memory, ix)
+	cur := rs.p.Crossings(counts)
+	invHop := 0.0
+	if rs.memActive {
+		invHop = 1 / opts.Memory.HopSeconds
+		cur += rs.memSum * invHop
+	}
+	best := rs.p.Clone()
+	bestObj := cur
+	scale := cur
+	if scale == 0 {
+		scale = 1
+	}
+	r := rng.New(opts.Seed)
+	cool := math.Pow(endT/startT, 1/float64(iters))
+	temp := startT * scale
+	for it := 0; it < iters; it++ {
+		j := r.Intn(rs.p.Layers)
+		e := r.Intn(rs.p.Experts)
+		g := r.Intn(rs.p.GPUs)
+		add := !rs.p.HasCopy(j, e, g)
+		if add && rs.extras >= opts.Budget {
+			temp *= cool
+			continue
+		}
+		if !add && rs.p.Assign[j][e] == g {
+			temp *= cool // the primary cannot be dropped
+			continue
+		}
+		delta := rs.crossDelta(j, e, g, add)
+		memDelta := rs.memDelta(j, e, g, add)
+		delta += memDelta * invHop
+		if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
+			rs.commit(j, e, g, add)
+			cur += delta
+			if cur < bestObj {
+				bestObj = cur
+				best = rs.p.Clone()
+			}
+		}
+		temp *= cool
+	}
+	best.normalizeExtra()
+	return best
+}
+
+// repState is AnnealReplicas' incremental view: per-GPU copy sets with
+// per-copy deflated masses (mass/degree — the router splits an expert's
+// demand across its copies) and cached per-GPU stall under the memory
+// objective's residency model.
+type repState struct {
+	p         *Placement
+	mo        *MemoryObjective
+	ix        *TransIndex
+	memActive bool
+	deg       []int32   // packed id -> copy count
+	gpuItems  [][]int32 // per GPU: packed ids held (unordered)
+	cost      []float64 // per GPU stall seconds (memActive only)
+	cheT      []float64 // per GPU warm-start T (Che model only)
+	memSum    float64
+	extras    int
+	idBuf     []int32
+	massBuf   []float64
+	pend      []pendCost // affected-GPU costs from the last memDelta
+}
+
+type pendCost struct {
+	g    int
+	cost float64
+	t    float64
+}
+
+func newRepState(p *Placement, mo *MemoryObjective, ix *TransIndex) *repState {
+	rs := &repState{
+		p:  p,
+		mo: mo,
+		ix: ix,
+		// Active()'s Slots < PerGPU shortcut only holds for single-copy
+		// placements: extra copies can overflow even an exactly-provisioned
+		// (1x) slot budget, so the copy pass prices memory whenever an
+		// objective exists at all.
+		memActive: mo != nil && mo.Slots > 0,
+		deg:       make([]int32, p.Layers*p.Experts),
+		gpuItems:  make([][]int32, p.GPUs),
+	}
+	for j := 0; j < p.Layers; j++ {
+		for e := 0; e < p.Experts; e++ {
+			id := int32(j*p.Experts + e)
+			rs.deg[id] = int32(p.Degree(j, e))
+			rs.gpuItems[p.Assign[j][e]] = append(rs.gpuItems[p.Assign[j][e]], id)
+			for _, g := range p.extraOf(j, e) {
+				rs.gpuItems[g] = append(rs.gpuItems[g], id)
+				rs.extras++
+			}
+		}
+	}
+	if rs.memActive {
+		rs.cost = make([]float64, p.GPUs)
+		rs.cheT = make([]float64, p.GPUs)
+		for g := range rs.gpuItems {
+			rs.cost[g], rs.cheT[g] = rs.gpuStall(g, -1, 0, false)
+			rs.memSum += rs.cost[g]
+		}
+	}
+	return rs
+}
+
+// gpuStall prices GPU g's copy set under the objective's residency model,
+// with an optional hypothetical toggle: when toggleID >= 0, the copy of
+// toggleID on toggleG is added (toggleAdd) or removed, and every copy of
+// toggleID prices at its post-toggle deflated mass. Returns the stall and
+// the characteristic time used (Che model; +Inf otherwise).
+func (rs *repState) gpuStall(g int, toggleID int32, toggleG int, toggleAdd bool) (float64, float64) {
+	mo := rs.mo
+	rs.idBuf = rs.idBuf[:0]
+	rs.massBuf = rs.massBuf[:0]
+	for _, id := range rs.gpuItems[g] {
+		if id == toggleID && !toggleAdd && g == toggleG {
+			continue
+		}
+		rs.idBuf = append(rs.idBuf, id)
+	}
+	if toggleID >= 0 && toggleAdd && g == toggleG {
+		rs.idBuf = append(rs.idBuf, toggleID)
+	}
+	for _, id := range rs.idBuf {
+		d := float64(rs.deg[id])
+		if id == toggleID {
+			if toggleAdd {
+				d++
+			} else {
+				d--
+			}
+		}
+		rs.massBuf = append(rs.massBuf, mo.mass[id]/d)
+	}
+	if mo.Model == ResidencyChe {
+		warm := 0.0
+		if rs.cheT != nil {
+			warm = rs.cheT[g]
+			if math.IsInf(warm, 1) {
+				warm = 0
+			}
+		}
+		return mo.cheStallMass(rs.idBuf, rs.massBuf, warm)
+	}
+	return mo.staticStallMass(rs.idBuf, rs.massBuf), math.Inf(1)
+}
+
+// memDelta prices the memory-term change of toggling a copy of (j, e) on g:
+// the toggled GPU gains or loses an item, and every other GPU holding a copy
+// re-prices at the new deflated mass. The affected costs are cached for the
+// matching commit.
+func (rs *repState) memDelta(j, e, g int, add bool) float64 {
+	if !rs.memActive {
+		return 0
+	}
+	id := int32(j*rs.p.Experts + e)
+	rs.pend = rs.pend[:0]
+	delta := 0.0
+	price := func(gpu int) {
+		c, t := rs.gpuStall(gpu, id, g, add)
+		rs.pend = append(rs.pend, pendCost{gpu, c, t})
+		delta += c - rs.cost[gpu]
+	}
+	price(rs.p.Assign[j][e])
+	seen := rs.p.Assign[j][e] == g
+	for _, h := range rs.p.extraOf(j, e) {
+		price(h)
+		if h == g {
+			seen = true
+		}
+	}
+	if add && !seen {
+		price(g)
+	}
+	return delta
+}
+
+// crossDelta prices the replicated-crossing change of toggling a copy of
+// (j, e) on g, scanning only the transitions incident to e.
+func (rs *repState) crossDelta(j, e, g int, add bool) float64 {
+	p := rs.p
+	delta := 0.0
+	// wasCross/isCross: intersection with the copy set of (j, e) before and
+	// after the toggle. After an add, any neighbor holding a copy on g
+	// becomes non-crossing; after a drop, a neighbor that only met us on g
+	// becomes crossing.
+	contrib := func(nj, ne int, w float64) {
+		old := !p.copiesIntersect(nj, ne, j, e)
+		neu := old
+		if add {
+			if old && p.HasCopy(nj, ne, g) {
+				neu = false
+			}
+		} else if !old {
+			neu = !rs.intersectExcept(nj, ne, j, e, g)
+		}
+		if old != neu {
+			if neu {
+				delta += w
+			} else {
+				delta -= w
+			}
+		}
+	}
+	if j > 0 && j-1 < len(rs.ix.pairs) {
+		pair := &rs.ix.pairs[j-1]
+		for i := pair.predStart[e]; i < pair.predStart[e+1]; i++ {
+			contrib(j-1, int(pair.predFrom[i]), pair.predW[i])
+		}
+	}
+	if j < p.Layers-1 && j < len(rs.ix.pairs) {
+		pair := &rs.ix.pairs[j]
+		for i := pair.succStart[e]; i < pair.succStart[e+1]; i++ {
+			contrib(j+1, int(pair.succTo[i]), pair.succW[i])
+		}
+	}
+	return delta
+}
+
+// intersectExcept reports whether the copy sets of (j1, e1) and (j2, e2)
+// intersect when (j2, e2)'s copy on `exclude` is ignored.
+func (rs *repState) intersectExcept(j1, e1, j2, e2, exclude int) bool {
+	p := rs.p
+	check := func(g int) bool { return g != exclude && p.HasCopy(j2, e2, g) }
+	if check(p.Assign[j1][e1]) {
+		return true
+	}
+	for _, g := range p.extraOf(j1, e1) {
+		if check(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// commit applies a move previously priced by crossDelta+memDelta.
+func (rs *repState) commit(j, e, g int, add bool) {
+	id := int32(j*rs.p.Experts + e)
+	if add {
+		rs.p.AddReplica(j, e, g)
+		rs.gpuItems[g] = append(rs.gpuItems[g], id)
+		rs.deg[id]++
+		rs.extras++
+	} else {
+		rs.p.DropReplica(j, e, g)
+		items := rs.gpuItems[g]
+		for i, it := range items {
+			if it == id {
+				items[i] = items[len(items)-1]
+				rs.gpuItems[g] = items[:len(items)-1]
+				break
+			}
+		}
+		rs.deg[id]--
+		rs.extras--
+	}
+	if rs.memActive {
+		for _, pc := range rs.pend {
+			rs.memSum += pc.cost - rs.cost[pc.g]
+			rs.cost[pc.g] = pc.cost
+			rs.cheT[pc.g] = pc.t
+		}
+	}
+}

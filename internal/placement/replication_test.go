@@ -1,0 +1,369 @@
+package placement
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// Replica-set tests: bookkeeping invariants, the router's copy-selection
+// rule, degree-1 bit-identity across every consumer (the tentpole's pin),
+// and the replicate/dereplicate anneal's budget and objective guarantees.
+
+func TestReplicaBookkeeping(t *testing.T) {
+	pl := Contiguous(2, 4, 2)
+	if pl.Replicated() || pl.TotalExtras() != 0 || pl.Degree(0, 0) != 1 {
+		t.Fatal("fresh placement must be single-copy")
+	}
+	pl.AddReplica(0, 0, 1)
+	if !pl.Replicated() || pl.TotalExtras() != 1 || pl.Degree(0, 0) != 2 {
+		t.Fatal("AddReplica not reflected in bookkeeping")
+	}
+	if !pl.HasCopy(0, 0, 1) || !pl.HasCopy(0, 0, 0) || pl.HasCopy(1, 0, 1) {
+		t.Fatal("HasCopy wrong after AddReplica")
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("replicated placement invalid: %v", err)
+	}
+	mustPanic(t, "duplicate AddReplica", func() { pl.AddReplica(0, 0, 1) })
+	mustPanic(t, "AddReplica on primary", func() { pl.AddReplica(0, 0, 0) })
+	mustPanic(t, "DropReplica of missing copy", func() { pl.DropReplica(1, 0, 1) })
+	mustPanic(t, "DropReplica of primary", func() { pl.DropReplica(0, 0, 0) })
+	pl.DropReplica(0, 0, 1)
+	if pl.Replicated() || pl.TotalExtras() != 0 {
+		t.Fatal("DropReplica not reflected in bookkeeping")
+	}
+	pl.normalizeExtra()
+	if pl.Extra != nil {
+		t.Fatal("normalizeExtra must restore the canonical single-copy representation")
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s must panic", what)
+		}
+	}()
+	f()
+}
+
+func TestPickReplicaRouting(t *testing.T) {
+	pl := Contiguous(1, 8, 4) // expert e's primary is GPU e/2
+	sameGPU := func(from, to int) int {
+		if from == to {
+			return 0
+		}
+		return 1
+	}
+	// Single-copy experts return the primary without touching either signal.
+	if got := pl.PickReplica(0, 5, 3, []int{9, 0, 9, 0}, sameGPU); got != 2 {
+		t.Fatalf("single-copy pick = %d, want primary 2", got)
+	}
+	pl.AddReplica(0, 0, 3) // copies of expert 0 on {0, 3}
+	// Locality first: the co-located copy wins even when it is more loaded.
+	if got := pl.PickReplica(0, 0, 3, []int{0, 0, 0, 5}, sameGPU); got != 3 {
+		t.Fatalf("co-located pick = %d, want 3", got)
+	}
+	// Equal hop class: least-loaded wins.
+	if got := pl.PickReplica(0, 0, 1, []int{5, 0, 0, 2}, sameGPU); got != 3 {
+		t.Fatalf("least-loaded pick = %d, want 3", got)
+	}
+	// Full tie: lowest GPU id.
+	if got := pl.PickReplica(0, 0, 1, []int{1, 0, 0, 1}, sameGPU); got != 0 {
+		t.Fatalf("tie pick = %d, want 0", got)
+	}
+	// Nil signals drop their criteria; the pick stays deterministic.
+	for i := 0; i < 5; i++ {
+		if got := pl.PickReplica(0, 0, 2, nil, nil); got != 0 {
+			t.Fatalf("nil-signal pick = %d, want 0", got)
+		}
+	}
+}
+
+// TestPropertyReplicaBudgetZeroBitIdentical pins the tentpole's degree-1
+// guarantee at the solver layer: a zero replication budget must leave both
+// anneal pipelines bit-identical to the pre-replication solvers, with the
+// canonical nil Extra representation.
+func TestPropertyReplicaBudgetZeroBitIdentical(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		init := Contiguous(layers, experts, gpus)
+		plain := Anneal(counts, init, AnnealOptions{Iterations: 1500, Seed: seed})
+		withBudget := Anneal(counts, init, AnnealOptions{Iterations: 1500, Seed: seed, ReplicaBudget: 0})
+		if !withBudget.Equal(plain) || withBudget.Extra != nil {
+			return false
+		}
+		tp := topo.ForGPUs(gpus)
+		s0 := StagedOpt(counts, layers, experts, tp, seed, StagedOptions{})
+		s1 := StagedOpt(counts, layers, experts, tp, seed, StagedOptions{ReplicaBudget: 0})
+		return s1.Equal(s0) && s1.Extra == nil
+	}, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAnnealReplicasValidBudgetedNonWorsening: the copy pass must
+// keep the placement valid, respect the budget, never touch a primary
+// (Formula 9 holds throughout), and never worsen the crossing objective it
+// anneals when memory is unpriced.
+func TestPropertyAnnealReplicasValidBudgetedNonWorsening(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		init := Anneal(counts, Contiguous(layers, experts, gpus), AnnealOptions{Iterations: 800, Seed: seed})
+		budget := 1 + int(seed%uint64(2*gpus))
+		out := AnnealReplicas(counts, init, ReplicaOptions{Budget: budget, Iterations: 3000, Seed: seed})
+		if out.Validate() != nil || out.TotalExtras() > budget {
+			return false
+		}
+		for j := range init.Assign {
+			for e := range init.Assign[j] {
+				if out.Assign[j][e] != init.Assign[j][e] {
+					return false
+				}
+			}
+		}
+		return out.Crossings(counts) <= init.Crossings(counts)+1e-9
+	}, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAnnealReplicasMemoryPricedNonWorsening: with an active memory
+// objective the pass anneals the blended objective (crossings plus stall in
+// crossing units) and must never worsen it — copies that displace residency
+// for less crossing relief than they cost are rejected.
+func TestPropertyAnnealReplicasMemoryPricedNonWorsening(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		init := Contiguous(layers, experts, gpus)
+		mo := memObjectiveFor(counts, layers, experts, gpus, 2)
+		out := AnnealReplicas(counts, init, ReplicaOptions{Budget: gpus, Iterations: 3000, Seed: seed, Memory: mo})
+		if out.Validate() != nil || out.TotalExtras() > gpus {
+			return false
+		}
+		obj := func(p *Placement) float64 {
+			return p.Crossings(counts) + mo.StallSeconds(p)/mo.HopSeconds
+		}
+		return obj(out) <= obj(init)+1e-6*(1+obj(init))
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// addRandomReplicas installs up to n random extra copies on p.
+func addRandomReplicas(p *Placement, n int, seed uint64) int {
+	r := rng.New(seed)
+	added := 0
+	for i := 0; i < n; i++ {
+		j, e, g := r.Intn(p.Layers), r.Intn(p.Experts), r.Intn(p.GPUs)
+		if !p.HasCopy(j, e, g) {
+			p.AddReplica(j, e, g)
+			added++
+		}
+	}
+	return added
+}
+
+// TestPropertyDiffPriceReplicated: replica churn must price as host-tier
+// installs (never cross-node fabric traffic) and free drops — the
+// copy-aware half of the migration pricer.
+func TestPropertyDiffPriceReplicated(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		_, layers, experts, gpus := randomInstance(seed)
+		a := Random(layers, experts, gpus, seed)
+		b := a.Clone()
+		installs := addRandomReplicas(b, 4, seed^0x5EED)
+		if installs == 0 {
+			return true
+		}
+		tp := topo.ForGPUs(gpus)
+		const bytes = 16 << 20
+		fwd := PriceMoves(Diff(a, b), tp, bytes)
+		if len(fwd.Moves) != installs || fwd.CrossNodeMoves != 0 || fwd.Bytes != installs*bytes {
+			return false
+		}
+		for _, m := range fwd.Moves {
+			if !m.Install() || m.Drop() {
+				return false
+			}
+		}
+		want := float64(installs) * tp.HostPath().Time(bytes)
+		if math.Abs(fwd.Seconds-want) > 1e-9*want {
+			return false
+		}
+		rev := PriceMoves(Diff(b, a), tp, bytes)
+		if len(rev.Moves) != installs || rev.Bytes != 0 || rev.Seconds != 0 {
+			return false
+		}
+		for _, m := range rev.Moves {
+			if !m.Drop() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCanonicalizeTopoReplicated: relabeling must carry the replica
+// sets through the permutation — the canonical placement stays valid, keeps
+// every extra copy, preserves the replicated crossing count exactly, and
+// never costs more moves than the unrelabeled target.
+func TestPropertyCanonicalizeTopoReplicated(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		a := Random(layers, experts, gpus, seed)
+		b := Random(layers, experts, gpus, seed^0xBADA)
+		addRandomReplicas(b, 3, seed^0xCAFE)
+		tp := topo.ForGPUs(gpus)
+		canon := CanonicalizeTopo(a, b, tp.GPUsPerNode)
+		if canon.Validate() != nil || canon.TotalExtras() != b.TotalExtras() {
+			return false
+		}
+		if canon.Crossings(counts) != b.Crossings(counts) {
+			return false
+		}
+		return len(Diff(a, canon)) <= len(Diff(a, b))
+	}, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// withEmptyExtra returns a clone carrying an allocated but all-empty replica
+// structure — the non-canonical degree-1 representation every consumer must
+// treat bit-identically to nil Extra.
+func withEmptyExtra(p *Placement) *Placement {
+	q := p.Clone()
+	q.Extra = make([][][]int, q.Layers)
+	for j := range q.Extra {
+		q.Extra[j] = make([][]int, q.Experts)
+	}
+	return q
+}
+
+// TestPropertyDegree1EmptyExtraBitIdentical: crossings, equality, diffing
+// and migration pricing must not distinguish an all-empty Extra from nil —
+// the degree-1 bit-identity pin for the representation itself.
+func TestPropertyDegree1EmptyExtraBitIdentical(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		a := Random(layers, experts, gpus, seed)
+		b := Random(layers, experts, gpus, seed^0x90D0)
+		a2, b2 := withEmptyExtra(a), withEmptyExtra(b)
+		if a2.Replicated() || a2.Crossings(counts) != a.Crossings(counts) {
+			return false
+		}
+		if !a2.Equal(a) || !a.Equal(a2) {
+			return false
+		}
+		ma, mb := Diff(a, b), Diff(a2, b2)
+		if len(ma) != len(mb) {
+			return false
+		}
+		for i := range ma {
+			if ma[i] != mb[i] {
+				return false
+			}
+		}
+		tp := topo.ForGPUs(gpus)
+		const bytes = 16 << 20
+		p1 := PriceMigration(a, b, tp, bytes)
+		p2 := PriceMigration(a2, b2, tp, bytes)
+		return p1.Seconds == p2.Seconds && p1.Bytes == p2.Bytes && p1.CrossNodeMoves == p2.CrossNodeMoves
+	}, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStallSecondsDegree1EmptyExtra: the memory objective's
+// replicated pricer (explicit mass/degree) must reduce bit-identically to
+// the single-copy path when every degree is 1.
+func TestPropertyStallSecondsDegree1EmptyExtra(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		pl := Random(layers, experts, gpus, seed)
+		for _, model := range []ResidencyModel{ResidencyStatic, ResidencyChe} {
+			mo := memObjectiveFor(counts, layers, experts, gpus, 2)
+			mo.Model = model
+			if mo.StallSeconds(withEmptyExtra(pl)) != mo.StallSeconds(pl) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastExpNegBoundedError(t *testing.T) {
+	// The table-plus-cubic path must stay within 1e-8 relative of math.Exp
+	// across the whole tabled range (satellite 3's bound; the analytic
+	// truncation error is ~2.5e-9 relative).
+	check := func(x float64) {
+		t.Helper()
+		got, want := expNeg(x), math.Exp(-x)
+		if diff := math.Abs(got - want); diff > 1e-8*want {
+			t.Fatalf("expNeg(%v) = %v, want %v (rel err %v)", x, got, want, diff/want)
+		}
+	}
+	for x := 0.0; x < 70; x += 0.0137 {
+		check(x)
+	}
+	r := rng.New(42)
+	for i := 0; i < 20000; i++ {
+		check(r.Float64() * 70)
+	}
+	for _, x := range []float64{0, expNegStep / 2, expNegStep, 1, expNegMax - 1e-9, expNegMax, expNegMax + 1, 700} {
+		check(x)
+	}
+	// Out-of-domain arguments take the exact fallback verbatim.
+	for _, x := range []float64{-3, -0.5, math.Inf(1)} {
+		if got, want := expNeg(x), math.Exp(-x); got != want {
+			t.Fatalf("expNeg(%v) fallback = %v, want %v", x, got, want)
+		}
+	}
+	if !math.IsNaN(expNeg(math.NaN())) {
+		t.Fatal("expNeg(NaN) must be NaN")
+	}
+	// The cheExactExp toggle routes every call to math.Exp bit for bit.
+	cheExactExp = true
+	defer func() { cheExactExp = false }()
+	for i := 0; i < 2000; i++ {
+		x := r.Float64() * 70
+		if expNeg(x) != math.Exp(-x) {
+			t.Fatalf("cheExactExp path diverged at %v", x)
+		}
+	}
+}
+
+// TestPropertyCheStallTableVsExactClose compares whole Che pricings under
+// the table path against the exact math.Exp reference: per-call error below
+// 1e-8 relative must stay small through the Newton solve and the stall sum.
+func TestPropertyCheStallTableVsExactClose(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		tr, layers, experts, gpus := randomInstance(seed)
+		counts := tr.AllTransitionCounts()
+		pl := Random(layers, experts, gpus, seed)
+		mo := memObjectiveFor(counts, layers, experts, gpus, 2)
+		mo.Model = ResidencyChe
+		table := mo.StallSeconds(pl)
+		cheExactExp = true
+		exact := mo.StallSeconds(pl)
+		cheExactExp = false
+		return math.Abs(table-exact) <= 1e-6*(1+exact)
+	}, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

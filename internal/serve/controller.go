@@ -249,7 +249,7 @@ func (c *controller) observe(now float64, cur *placement.Placement, busy bool) (
 	go func() {
 		t0 := reg.Now()
 		pl := placement.StagedOpt(counts, layers, experts, tp, seed,
-			placement.StagedOptions{Memory: mo, Workers: workers, Obs: reg})
+			placement.StagedOptions{Memory: mo, Workers: workers, Obs: reg, ReplicaBudget: c.opts.ReplicaBudget})
 		ps.wall = reg.Now() - t0
 		ps.result <- pl
 	}()
@@ -328,6 +328,19 @@ func (c *controller) complete(now float64, cur *placement.Placement, ps *pending
 		// again. Charge the refetch to the pause so the event prices the
 		// full cost of churn.
 		ev.ResidencyChurn, ev.ChurnSeconds = c.churn(plan.Moves)
+		if ps.mo.Active() {
+			// Occupancy-weighted re-warm (ROADMAP 3b): the flat
+			// resident-count hook above charges a full refetch for every
+			// moved expert that happened to be resident, but an expert the
+			// destination's residency table would mostly not hold re-warms
+			// almost for free — its misses are already priced into the
+			// steady-state stall. Weight each arrival's fetch by its
+			// steady-state occupancy at the destination under the selected
+			// residency model (Che fractional occupancy or static warm-set
+			// membership); keep the hook's churn count as the invalidation
+			// tally.
+			ev.ChurnSeconds = ps.mo.RewarmSeconds(canon, plan.Moves)
+		}
 		ev.Seconds += ev.ChurnSeconds
 	}
 	if tr != nil {
@@ -376,6 +389,12 @@ func residencyObjective(o *Options, layers, experts int, counts [][][]float64) *
 		o.Oversubscription, pol, o.PrefetchK, o.HostSlots, counts)
 	mo := placement.NewMemoryObjective(cfg, o.Cost.PerCrossHop)
 	mo.Model = model
+	// Serving is bulk-synchronous over MaxBatch-token iterations: a batch
+	// demands each expert at most once per layer, so the per-token demand
+	// oracle overstates residency churn by up to the batch size. Deflate it
+	// (ROADMAP 3a) so both residency models price what the residency table
+	// actually sees.
+	mo.DeflateBatch(o.MaxBatch)
 	return mo
 }
 
@@ -384,6 +403,8 @@ func residencyObjective(o *Options, layers, experts int, counts [][][]float64) *
 // and cross-node transition fractions plugged into the fitted coefficients.
 func (c *controller) perTokenCost(counts [][][]float64, pl *placement.Placement) float64 {
 	var node, cross, total float64
+	gpn := c.opts.Topo.GPUsPerNode
+	replicated := pl.Replicated()
 	for j := range counts {
 		for from := range counts[j] {
 			gFrom := pl.GPUOf(j, from)
@@ -392,6 +413,18 @@ func (c *controller) perTokenCost(counts [][][]float64, pl *placement.Placement)
 					continue
 				}
 				total += w
+				if replicated {
+					// Optimistic replica routing: the transition lands on the
+					// closest copy pair, matching the solver's replicated
+					// crossing model.
+					switch pl.TransitionHop(j, from, to, gpn) {
+					case int(topo.SameNode):
+						node += w
+					case int(topo.CrossNode):
+						cross += w
+					}
+					continue
+				}
 				switch c.opts.Topo.Classify(gFrom, pl.GPUOf(j+1, to)) {
 				case topo.SameNode:
 					node += w

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// Serve-layer replica tests: the router's copy-aware path must be
+// deterministic under a fixed seed, and a degree-1 placement carrying an
+// allocated-but-empty replica structure must serve bit-identically to the
+// canonical nil-Extra representation (the tentpole's end-to-end pin).
+
+// replicatedOpts is testSystem with a few extra expert copies installed and
+// tiered memory enabled, so both the engine router and the stall walk
+// exercise PickReplica.
+func replicatedOpts(t *testing.T) Options {
+	t.Helper()
+	opts, _ := testSystem(t)
+	pl := opts.Placement.Clone()
+	for j := 0; j < pl.Layers; j++ {
+		e := (j * 5) % pl.Experts
+		g := (pl.Assign[j][e] + 1 + j%4) % pl.GPUs
+		if !pl.HasCopy(j, e, g) {
+			pl.AddReplica(j, e, g)
+		}
+	}
+	if !pl.Replicated() {
+		t.Fatal("fixture failed to install any replica")
+	}
+	opts.Placement = pl
+	opts.Oversubscription = 2
+	opts.CachePolicy = "affinity"
+	rate := nearKneeRate(opts, 0.8, 0.2, 0.5)
+	opts.Phases = []Phase{{Name: "steady", Duration: 4, Rate: rate, Dataset: synth.Pile()}}
+	return opts
+}
+
+func sameReport(t *testing.T, a, b *Report, what string) {
+	t.Helper()
+	if a.Requests != b.Requests || a.Makespan != b.Makespan || a.Iterations != b.Iterations {
+		t.Fatalf("%s: %d/%v/%d vs %d/%v/%d",
+			what, a.Requests, a.Makespan, a.Iterations, b.Requests, b.Makespan, b.Iterations)
+	}
+	for i := range a.Phases {
+		if a.Phases[i].P95 != b.Phases[i].P95 || a.Phases[i].P99 != b.Phases[i].P99 {
+			t.Fatalf("%s: phase %d percentiles diverged", what, i)
+		}
+	}
+}
+
+func TestServeReplicatedDeterministicReplay(t *testing.T) {
+	opts := replicatedOpts(t)
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, a, b, "replicated replay diverged")
+	if a.Requests == 0 {
+		t.Fatal("replicated run served no requests")
+	}
+}
+
+func TestServeReplicatedDiffersFromSingleCopy(t *testing.T) {
+	// The copy-aware router must actually route through the extra copies:
+	// the same traffic under the replicated placement and its single-copy
+	// primaries cannot produce an identical makespan by accident.
+	opts := replicatedOpts(t)
+	rep, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := opts
+	pl := opts.Placement.Clone()
+	pl.Extra = nil
+	single.Placement = pl
+	base, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan == base.Makespan && rep.Phases[0].P95 == base.Phases[0].P95 {
+		t.Fatal("replicated run is indistinguishable from single-copy: router never used a copy")
+	}
+}
+
+func TestServeDegree1EmptyExtraBitIdentical(t *testing.T) {
+	opts, _ := testSystem(t)
+	opts.Oversubscription = 2
+	opts.CachePolicy = "affinity"
+	rate := nearKneeRate(opts, 0.8, 0.2, 0.5)
+	opts.Phases = []Phase{{Name: "steady", Duration: 4, Rate: rate, Dataset: synth.Pile()}}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := opts.Placement.Clone()
+	pl.Extra = make([][][]int, pl.Layers)
+	for j := range pl.Extra {
+		pl.Extra[j] = make([][]int, pl.Experts)
+	}
+	opts.Placement = pl
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, a, b, "empty-Extra degree-1 run diverged from nil-Extra")
+}
